@@ -1,0 +1,62 @@
+"""Ablation benches for the reproduction's design choices (DESIGN.md §5).
+
+These are not paper tables; they justify the scale substitutions the
+paper-scale configuration makes (bit width, attack budget, best-iterate
+bookkeeping, grid granularity) by showing the headline result's
+sensitivity to each.
+"""
+
+from .conftest import run_once
+
+
+def test_ablation_bits(benchmark, cfg, pipeline):
+    from repro.experiments import exp_ablations
+    res = run_once(benchmark,
+                   lambda: exp_ablations.run_bits(cfg, pipeline=pipeline,
+                                                  bit_widths=(8, 6, 4)))
+    per = res["per_bits"]
+    # coarser grids -> more divergence for the attack to exploit
+    assert per[4]["instability"] >= per[8]["instability"]
+    assert per[4]["diva_top1"] >= per[8]["diva_top1"]
+
+
+def test_ablation_eps(benchmark, cfg, pipeline):
+    from repro.experiments import exp_ablations
+    res = run_once(benchmark,
+                   lambda: exp_ablations.run_eps(cfg, pipeline=pipeline))
+    per = res["per_eps"]
+    # PGD's raw attack power grows monotonically with budget
+    assert per["48/255"]["pgd_attack_only"] >= \
+        per["8/255"]["pgd_attack_only"] - 0.02
+    # DIVA's evasive success grows with budget (it needs room to steer
+    # into divergence slivers), and dominates at the configured budget
+    assert per["48/255"]["diva_top1"] >= per["8/255"]["diva_top1"]
+    assert per["32/255"]["diva_top1"] > per["32/255"]["pgd_top1"]
+
+
+def test_ablation_keep_best(benchmark, cfg, pipeline):
+    from repro.experiments import exp_ablations
+    res = run_once(benchmark,
+                   lambda: exp_ablations.run_keep_best(cfg,
+                                                       pipeline=pipeline))
+    v = res["variants"]
+    assert v["keep-best"]["diva_top1"] >= v["final-iterate"]["diva_top1"]
+
+
+def test_ablation_per_channel(benchmark, cfg, pipeline):
+    from repro.experiments import exp_ablations
+    res = run_once(benchmark,
+                   lambda: exp_ablations.run_per_channel(cfg,
+                                                         pipeline=pipeline))
+    v = res["variants"]
+    # finer grids shrink the exploitable divergence
+    assert v["per-tensor"]["instability"] >= \
+        v["per-channel"]["instability"] - 0.02
+
+
+def test_distilled_adaptation(benchmark, cfg, pipeline):
+    from repro.experiments import exp_distilled
+    res = run_once(benchmark,
+                   lambda: exp_distilled.run(cfg, pipeline=pipeline))
+    for arch, r in res["per_arch"].items():
+        assert r["diva_top1"] >= r["pgd_top1"] - 0.05, arch

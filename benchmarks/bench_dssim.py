@@ -1,0 +1,19 @@
+"""§5.2 — DSSIM / imperceptibility of adversarial images.
+
+Paper: all DSSIM < 0.0092 at eps=8/255 on 224x224.  Our eps is scaled
+(32/255 on 16x16 — see config), so the absolute threshold scales; the
+reproduced claim is DIVA is no more perceptible than PGD at equal budget.
+"""
+
+from .conftest import run_once
+
+
+def test_dssim(benchmark, cfg, pipeline):
+    from repro.experiments import exp_dssim
+    res = run_once(benchmark, lambda: exp_dssim.run(cfg, pipeline=pipeline))
+    pgd = res["per_attack"]["PGD"]
+    diva = res["per_attack"]["DIVA"]
+    assert diva["max_linf"] <= cfg.eps + 1e-6
+    assert pgd["max_linf"] <= cfg.eps + 1e-6
+    # DIVA no more visible than PGD (small slack for estimator noise)
+    assert diva["mean_dssim"] <= pgd["mean_dssim"] + 0.02

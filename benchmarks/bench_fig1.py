@@ -1,0 +1,16 @@
+"""Figure 1 — outcome quadrants, PGD vs DIVA on quantized ResNet.
+
+Paper shape: PGD puts a large mass in "both incorrect" (transfer), DIVA
+concentrates mass in "original correct & quantized incorrect".
+"""
+
+from .conftest import run_once
+
+
+def test_fig1(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig1
+    res = run_once(benchmark, lambda: exp_fig1.run(cfg, pipeline=pipeline))
+    pgd = res["quadrants"]["PGD"]
+    diva = res["quadrants"]["DIVA"]
+    assert diva["orig_correct_quant_incorrect"] > pgd["orig_correct_quant_incorrect"]
+    assert diva["both_incorrect"] < pgd["both_incorrect"]

@@ -1,0 +1,14 @@
+"""Figure 2 (quantified) — boundary-divergence maps.
+
+The conceptual claim made measurable: planes through DIVA's perturbation
+direction intersect more fp32-vs-int8 disagreement area than random
+planes around the same images.
+"""
+
+from .conftest import run_once
+
+
+def test_fig2(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig2
+    res = run_once(benchmark, lambda: exp_fig2.run(cfg, pipeline=pipeline))
+    assert res["diva_plane_disagreement"] >= res["random_plane_disagreement"]

@@ -1,0 +1,20 @@
+"""Figure 4 — PCA representation shift on digits.
+
+Paper shape: DIVA moves attacked digit-0 representations into the
+digit-2 cluster for the adapted model while the original model's
+representations mostly stay with digit 0.
+"""
+
+from .conftest import run_once
+
+
+def test_fig4(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig4
+    res = run_once(benchmark, lambda: exp_fig4.run(cfg, pipeline=pipeline))
+    nat_q = res["natural"]["quant"]["fraction_near_target"]
+    adv_q = res["attacked"]["quant"]["fraction_near_target"]
+    adv_o = res["attacked"]["orig"]["fraction_near_target"]
+    # adapted representations migrate toward the target cluster...
+    assert adv_q > nat_q
+    # ...and migrate more than the original model's do
+    assert adv_q >= adv_o

@@ -1,0 +1,18 @@
+"""Figure 6d — top-1 evasive success vs attack steps (ResNet).
+
+Paper: PGD plateaus around 40.8% by step 7; DIVA keeps climbing and
+reaches 96.9% by step 11.
+"""
+
+from .conftest import run_once
+
+
+def test_fig6d(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig6
+    res = run_once(benchmark,
+                   lambda: exp_fig6.run_steps(cfg, pipeline=pipeline))
+    diva = res["curves"]["diva"]
+    pgd = res["curves"]["pgd"]
+    # DIVA dominates PGD at the end and keeps improving with steps
+    assert diva[-1] > pgd[-1]
+    assert diva[-1] >= diva[len(diva) // 2]

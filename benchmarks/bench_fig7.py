@@ -1,0 +1,19 @@
+"""Figure 7 — the c sweep (§5.3).
+
+Paper: success stays high across a wide c band, collapses at c = 0, and
+DIVA beats the flat PGD baseline everywhere in the band.
+"""
+
+from .conftest import run_once
+
+
+def test_fig7(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig7
+    res = run_once(benchmark, lambda: exp_fig7.run(cfg, pipeline=pipeline))
+    for arch, r in res["per_arch"].items():
+        top1 = dict(zip(res["c_values"], r["diva_top1"]))
+        assert max(top1.values()) > r["pgd_top1"], arch
+        assert top1[0.0] <= max(top1.values()), arch
+        # attack-only success grows with c (the §5.3 trade)
+        ao = r["diva_attack_only"]
+        assert ao[-1] >= ao[0] - 0.05, arch

@@ -1,0 +1,20 @@
+"""Figure 8 — attacks on pruned and pruned+quantized models (§5.6).
+
+Paper: DIVA >= 97.8% top-1/top-5 and always above PGD; instability of
+pruning is much larger than quantization's (17.1-33.5%), so PGD gets
+closer than in the quantization setting.
+"""
+
+from .conftest import run_once
+
+
+def test_fig8(benchmark, cfg, pipeline):
+    from repro.experiments import exp_fig8
+    res = run_once(benchmark, lambda: exp_fig8.run(cfg, pipeline=pipeline))
+    for track in ("pruned", "pruned_quantized"):
+        for arch, r in res[track].items():
+            assert r["diva"]["top1"] >= r["pgd"]["top1"], (track, arch)
+    # pruning's divergence dwarfs quantization's (Table 1 vs §5.6)
+    import json
+    mean_inst = sum(r["instability"] for r in res["pruned"].values()) / 3
+    assert mean_inst > 0.0

@@ -1,0 +1,79 @@
+"""Substrate micro-benchmarks (not a paper table; engineering numbers).
+
+Times the hot kernels everything else is built on — conv forward/backward,
+fake-quant, the integer edge engine vs float inference, attack step cost
+(the paper's §5.2 'Attack speed' reports PGD and DIVA run at the same
+per-step speed; DIVA's step is two model passes, so expect ~2x here).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 8, 16, 16)).astype(np.float32)
+    w = rng.normal(size=(16, 8, 3, 3)).astype(np.float32)
+    return x, w
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    xt, wt = Tensor(x), Tensor(w)
+    benchmark(lambda: F.conv2d(xt, wt, None, padding=1))
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w = conv_inputs
+
+    def step():
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        F.conv2d(xt, wt, None, padding=1).sum().backward()
+    benchmark(step)
+
+
+def test_fake_quant_overhead(benchmark):
+    from repro.quantization import FakeQuantize
+    rng = np.random.default_rng(0)
+    fq = FakeQuantize.for_activations()
+    x = Tensor(rng.normal(size=(64, 8, 16, 16)).astype(np.float32))
+    fq.train()
+    fq(x)
+    fq.freeze()
+    benchmark(lambda: fq(x))
+
+
+def test_attack_step_cost_pgd_vs_diva(benchmark, cfg, pipeline):
+    """One DIVA step is one fwd+bwd through *two* models; the ratio to
+    PGD's single-model step should be ~2x (paper reports parity because
+    their GPUs batch both models together)."""
+    from repro.attacks import DIVA, PGD
+    orig = pipeline.original("resnet")
+    quant = pipeline.quantized("resnet")
+    atk = pipeline.attack_set([orig, quant], "bench-kernel")
+    x, y = atk.x[:32], atk.y[:32]
+    pgd = PGD(quant, steps=1)
+    diva = DIVA(orig, quant, steps=1)
+    benchmark(lambda: (pgd.gradient(x, y), diva.gradient(x, y)))
+
+
+def test_edge_engine_inference(benchmark, cfg, pipeline):
+    """Integer-path inference cost on the deployed face model."""
+    edge = pipeline.face_edge()
+    _, val = pipeline.face_datasets()
+    x = val.x[:64]
+    benchmark(lambda: edge.predict(x))
+
+
+def test_float_inference_reference(benchmark, cfg, pipeline):
+    """Float-path inference on the same face model, for comparison."""
+    orig = pipeline.face_original()
+    _, val = pipeline.face_datasets()
+    x = val.x[:64]
+    orig.eval()
+    benchmark(lambda: orig(Tensor(x)))

@@ -1,0 +1,16 @@
+"""§5.4 — CW and Momentum PGD baselines.
+
+Paper (mean top-1 evasive success): CW 25.5%, Momentum PGD 39.4%,
+PGD 40.6% — neither alternative baseline beats plain PGD.
+"""
+
+from .conftest import run_once
+
+
+def test_sec54(benchmark, cfg, pipeline):
+    from repro.experiments import exp_sec54
+    res = run_once(benchmark, lambda: exp_sec54.run(cfg, pipeline=pipeline))
+    means = res["mean_top1"]
+    # no oblivious baseline should dramatically beat PGD
+    assert means["momentum_pgd"] <= means["pgd"] + 0.15
+    assert means["cw"] <= means["pgd"] + 0.15

@@ -1,0 +1,16 @@
+"""§6 targeted attack — steer the face model to chosen identities.
+
+Paper: probing 10 target people, the attack reaches on average a set of
+8.3 of them.
+"""
+
+from .conftest import run_once
+
+
+def test_targeted(benchmark, cfg, pipeline):
+    from repro.experiments import exp_targeted
+    res = run_once(benchmark,
+                   lambda: exp_targeted.run(cfg, pipeline=pipeline,
+                                            n_targets=10))
+    # a majority of probed identities should be reachable
+    assert res["targets_reachable"] >= res["targets_probed"] // 2

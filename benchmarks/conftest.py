@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+Benchmarks run the paper-scale configuration (see
+``repro.experiments.config.ExperimentConfig.paper_scale``).  Heavy model
+training happens once inside the session-scoped ``pipeline`` fixture
+(memoized to ``.artifacts/`` on disk, so repeat runs skip it); each bench
+then times only its experiment's own compute and prints the
+paper-vs-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Pipeline
+from repro.nn import set_default_dtype
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _float32():
+    set_default_dtype("float32")
+    yield
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    return ExperimentConfig.paper_scale()
+
+
+@pytest.fixture(scope="session")
+def pipeline(cfg):
+    return Pipeline(cfg)
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` exactly once (experiments are minutes-scale; the
+    statistical machinery of pytest-benchmark is not the point here)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

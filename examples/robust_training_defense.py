@@ -1,0 +1,69 @@
+"""Robust training as a defense against DIVA (§5.5).
+
+Trains a PGD-minimax hardened original model (Eq. 4), derives its
+quantized edge version, and measures how much of both attacks' success
+survives — the paper finds robust training shrinks the exploitable
+divergence ("the non-overlapping area between the decision boundaries
+... becomes smaller") but DIVA keeps an edge over PGD at a suitable c.
+
+Run:  python examples/robust_training_defense.py
+"""
+
+from repro.attacks import DIVA, PGD
+from repro.data import SynthImageNetConfig, select_attack_set, standard_splits
+from repro.defense import adversarial_fit, robust_accuracy
+from repro.metrics import evaluate_attack
+from repro.models import build_model
+from repro.nn import set_default_dtype
+from repro.quantization import prepare_qat, qat_finetune
+from repro.training import evaluate_accuracy, fit
+
+
+def main() -> None:
+    set_default_dtype("float32")
+    eps, alpha, steps = 32 / 255, 4 / 255, 20
+
+    cfg = SynthImageNetConfig(num_classes=20, image_size=16,
+                              noise=0.40, jitter=0.20)
+    train, val, _ = standard_splits(cfg, train_per_class=120,
+                                    val_per_class=40, surrogate_per_class=10)
+
+    print("== standard vs robust original model ==")
+    standard = build_model("resnet", num_classes=20, width=8, seed=0)
+    fit(standard, train.x, train.y, epochs=8, batch_size=64, lr=0.02, seed=1)
+    robust = build_model("resnet", num_classes=20, width=8, seed=0)
+    fit(robust, train.x, train.y, epochs=4, batch_size=64, lr=0.02, seed=1)
+    adversarial_fit(robust, train.x, train.y, epochs=4, batch_size=64,
+                    eps=eps, attack_steps=5,
+                    log_fn=lambda s: print("  " + s))
+    print(f"  clean acc: standard {evaluate_accuracy(standard, val.x, val.y):.1%}"
+          f" | robust {evaluate_accuracy(robust, val.x, val.y):.1%}")
+    print(f"  robust acc (PGD-20): standard "
+          f"{robust_accuracy(standard, val.x[:120], val.y[:120], eps=eps, alpha=alpha, steps=steps):.1%}"
+          f" | robust "
+          f"{robust_accuracy(robust, val.x[:120], val.y[:120], eps=eps, alpha=alpha, steps=steps):.1%}")
+
+    print("== quantize both, attack both pairs ==")
+    for label, orig in [("standard", standard), ("robust", robust)]:
+        adapted = prepare_qat(orig, weight_bits=4, act_bits=8,
+                              per_channel=False)
+        qat_finetune(adapted, train.x, train.y, epochs=1, batch_size=64,
+                     lr=0.002)
+        adapted.freeze()
+        atk_set = select_attack_set(val, [orig, adapted], per_class=6)
+        x_pgd = PGD(adapted, eps=eps, alpha=alpha, steps=steps).generate(
+            atk_set.x, atk_set.y)
+        rp = evaluate_attack(orig, adapted, x_pgd, atk_set.y, topk=2)
+        print(f"  [{label}] PGD      : evasive={rp.top1_success_rate:6.1%} "
+              f"attack-only={rp.attack_only_success_rate:6.1%}")
+        for c in (1.0, 1.5, 5.0):
+            x_diva = DIVA(orig, adapted, c=c, eps=eps, alpha=alpha,
+                          steps=steps).generate(atk_set.x, atk_set.y)
+            rd = evaluate_attack(orig, adapted, x_diva, atk_set.y, topk=2)
+            print(f"  [{label}] DIVA c={c:<3}: "
+                  f"evasive={rd.top1_success_rate:6.1%} "
+                  f"attack-only={rd.attack_only_success_rate:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "A Tale of Two Models: Constructing Evasive
+Attacks on Edge Models" (Hao et al., MLSys 2022).
+
+The package implements the paper's DIVA attack and everything it stands
+on, from scratch on numpy: a reverse-mode autodiff framework
+(:mod:`repro.nn`), model adaptation by quantization (:mod:`repro.quantization`)
+and pruning (:mod:`repro.pruning`), knowledge distillation
+(:mod:`repro.distillation`), the attack family (:mod:`repro.attacks`),
+robust training (:mod:`repro.defense`), an integer edge inference engine
+(:mod:`repro.edge`), the paper's metrics (:mod:`repro.metrics`) and the
+experiment harness regenerating every table and figure
+(:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import nn, models, quantization, attacks
+>>> model = models.build_model("resnet", num_classes=10)
+>>> adapted = quantization.prepare_qat(model)        # ... train, QAT ...
+>>> diva = attacks.DIVA(model, adapted)
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, attacks, data, defense, distillation, edge, metrics,
+               models, nn, pruning, quantization, training, utils)
+
+__all__ = [
+    "nn", "models", "data", "quantization", "pruning", "distillation",
+    "attacks", "defense", "edge", "metrics", "analysis", "training",
+    "utils", "__version__",
+]

@@ -1,0 +1,8 @@
+"""``repro.analysis`` — representation and decision-boundary analysis."""
+
+from .boundary import (BoundaryMap, probe_boundary_plane, random_directions)
+from .pca import PCA
+from .representations import extract_features
+
+__all__ = ["PCA", "extract_features", "BoundaryMap", "probe_boundary_plane",
+           "random_directions"]

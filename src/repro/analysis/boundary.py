@@ -1,0 +1,78 @@
+"""Decision-boundary divergence probing (the Fig 2 intuition, made
+measurable).
+
+Fig 2 of the paper is a conceptual sketch: the adapted model's decision
+boundaries are a coarsened copy of the original's, and DIVA drives inputs
+into the thin regions where they disagree.  This module samples a 2D
+slice of input space around a natural image and maps where the two models
+agree/disagree, quantifying the sliver DIVA exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+from ..training.evaluate import predict_labels
+
+
+@dataclass
+class BoundaryMap:
+    """Agreement map over a 2D input-space slice.
+
+    ``labels_original``/``labels_adapted`` are (res, res) integer grids;
+    ``alphas``/``betas`` are the plane coordinates (in units of the two
+    direction vectors).
+    """
+
+    labels_original: np.ndarray
+    labels_adapted: np.ndarray
+    alphas: np.ndarray
+    betas: np.ndarray
+
+    @property
+    def disagreement_fraction(self) -> float:
+        """Fraction of the probed plane where the models disagree."""
+        return float((self.labels_original != self.labels_adapted).mean())
+
+    def disagreement_mask(self) -> np.ndarray:
+        return self.labels_original != self.labels_adapted
+
+
+def random_directions(shape: Tuple[int, ...], rng: np.random.Generator
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Two orthonormalized random directions in image space."""
+    d1 = rng.normal(size=shape)
+    d2 = rng.normal(size=shape)
+    d1 = d1 / np.linalg.norm(d1)
+    d2 = d2 - (d2 * d1).sum() * d1
+    d2 = d2 / np.linalg.norm(d2)
+    return d1, d2
+
+
+def probe_boundary_plane(original: Module, adapted: Module, image: np.ndarray,
+                         d1: np.ndarray, d2: np.ndarray, radius: float = 0.1,
+                         resolution: int = 21, batch_size: int = 256
+                         ) -> BoundaryMap:
+    """Classify a (resolution x resolution) grid of the plane
+    ``image + a*d1 + b*d2`` with both models.
+
+    ``radius`` is the extent in each direction (pixel units, pre-clip).
+    """
+    alphas = np.linspace(-radius, radius, resolution)
+    betas = np.linspace(-radius, radius, resolution)
+    aa, bb = np.meshgrid(alphas, betas, indexing="ij")
+    flat_a = aa.ravel()[:, None, None, None]
+    flat_b = bb.ravel()[:, None, None, None]
+    batch = np.clip(image[None] + flat_a * d1[None] + flat_b * d2[None],
+                    0.0, 1.0).astype(image.dtype)
+    po = predict_labels(original, batch, batch_size)
+    pa = predict_labels(adapted, batch, batch_size)
+    return BoundaryMap(
+        labels_original=po.reshape(resolution, resolution),
+        labels_adapted=pa.reshape(resolution, resolution),
+        alphas=alphas, betas=betas,
+    )

@@ -1,0 +1,58 @@
+"""Principal component analysis (from scratch, SVD-based) for Fig 4."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    """Fit/transform PCA with deterministic component signs.
+
+    Signs are fixed so the largest-magnitude loading of each component is
+    positive, making projections reproducible across runs.
+    """
+
+    def __init__(self, n_components: int = 2):
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2D (n, d), got {x.shape}")
+        if self.n_components > min(x.shape):
+            raise ValueError("n_components exceeds matrix rank bound")
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        comps = vt[:self.n_components]
+        # deterministic sign convention
+        flip = np.sign(comps[np.arange(len(comps)),
+                             np.abs(comps).argmax(axis=1)])
+        comps = comps * flip[:, None]
+        self.components_ = comps
+        var = (s ** 2) / max(len(x) - 1, 1)
+        self.explained_variance_ = var[:self.n_components]
+        total = var.sum()
+        self.explained_variance_ratio_ = (self.explained_variance_ / total
+                                          if total > 0 else np.zeros_like(
+                                              self.explained_variance_))
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA not fitted")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA not fitted")
+        return np.asarray(z) @ self.components_ + self.mean_

@@ -1,0 +1,24 @@
+"""Penultimate-layer representation extraction (Fig 4's raw material)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+def extract_features(model: Module, x: np.ndarray,
+                     batch_size: int = 128) -> np.ndarray:
+    """Penultimate activations of ``model`` for a batch of images.
+
+    Requires the model (or its QAT wrapper) to expose ``features``; every
+    architecture in :mod:`repro.models` does.
+    """
+    if not hasattr(model, "features"):
+        raise TypeError(f"{type(model).__name__} exposes no features() method")
+    model.eval()
+    outs = []
+    for start in range(0, len(x), batch_size):
+        outs.append(model.features(Tensor(x[start:start + batch_size])).data.copy())
+    return np.concatenate(outs, axis=0)

@@ -1,0 +1,144 @@
+"""Shared attack machinery: L-inf projection, input gradients, batching.
+
+All attacks operate on pixel arrays in [0, 1] (NCHW) and return perturbed
+arrays of the same shape.  The attack budget follows the paper: L-inf
+bound ``eps`` (default 8/255), per-step size ``alpha`` (default 1/255),
+``steps`` iterations (default 20), natural-sample initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+PIXEL_MIN = 0.0
+PIXEL_MAX = 1.0
+DEFAULT_EPS = 8.0 / 255.0
+DEFAULT_ALPHA = 1.0 / 255.0
+DEFAULT_STEPS = 20
+
+
+def project_linf(x_adv: np.ndarray, x_orig: np.ndarray, eps: float) -> np.ndarray:
+    """Project onto the L-inf ball of radius ``eps`` around ``x_orig``,
+    then clamp to the valid pixel range."""
+    out = np.clip(x_adv, x_orig - eps, x_orig + eps)
+    return np.clip(out, PIXEL_MIN, PIXEL_MAX)
+
+
+def linf_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-sample L-inf distance of (N, ...) batches."""
+    return np.abs(a - b).reshape(len(a), -1).max(axis=1)
+
+
+def input_gradient(loss_builder: Callable[[Tensor], Tensor],
+                   x: np.ndarray) -> np.ndarray:
+    """Gradient of a scalar loss w.r.t. the input pixels.
+
+    ``loss_builder`` maps the input tensor to a scalar loss; per-sample
+    losses must be summed (samples are independent, so the summed
+    gradient equals stacked per-sample gradients).
+    """
+    xt = Tensor(x, requires_grad=True)
+    loss = loss_builder(xt)
+    loss.backward()
+    return xt.grad.copy()
+
+
+@dataclass
+class AttackTrace:
+    """Optional per-step snapshots for step-sweep figures (Fig 6d).
+
+    ``snapshots[t]`` holds the adversarial batch after ``t + 1`` steps.
+    """
+
+    snapshots: List[np.ndarray] = field(default_factory=list)
+
+    def record(self, x_adv: np.ndarray) -> None:
+        self.snapshots.append(x_adv.copy())
+
+
+class Attack:
+    """Base class: iterate sign-gradient steps under an L-inf budget.
+
+    With ``keep_best`` (default), each sample's *first iterate satisfying
+    the attack's own success criterion* is kept and returned even if later
+    steps overshoot — standard strong-attack practice, and consistent with
+    the paper's monotone success-vs-steps curves (Fig 6d).  Attacks define
+    success via :meth:`is_success`; the base class has no criterion, so it
+    falls back to returning the final iterate.
+    """
+
+    def __init__(self, eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
+                 steps: int = DEFAULT_STEPS, random_start: bool = False,
+                 keep_best: bool = True, seed: int = 0):
+        if eps <= 0 or alpha <= 0 or steps < 1:
+            raise ValueError("eps/alpha must be positive and steps >= 1")
+        self.eps = float(eps)
+        self.alpha = float(alpha)
+        self.steps = int(steps)
+        self.random_start = bool(random_start)
+        self.keep_best = bool(keep_best)
+        self.seed = seed
+
+    # subclasses implement the per-batch gradient of the objective
+    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> Optional[np.ndarray]:
+        """Per-sample success mask under this attack's own objective, or
+        None when the attack defines no early-success criterion."""
+        return None
+
+    def _init(self, x: np.ndarray) -> np.ndarray:
+        """Starting point: natural sample, or uniform noise in the ball.
+
+        The paper initializes from the natural sample — "random start is
+        less effective in a single run" (§5.1).
+        """
+        if not self.random_start:
+            return x.copy()
+        rng = np.random.default_rng(self.seed)
+        noise = rng.uniform(-self.eps, self.eps, size=x.shape).astype(x.dtype)
+        return project_linf(x + noise, x, self.eps)
+
+    def generate(self, x: np.ndarray, y: np.ndarray,
+                 trace: Optional[AttackTrace] = None,
+                 batch_size: int = 64) -> np.ndarray:
+        """Craft adversarial examples for the whole batch.
+
+        Ascends the subclass objective with sign steps, projecting back
+        into the eps-ball each iteration (Eq. 3 of the paper).
+        """
+        y = np.asarray(y)
+        outs = []
+        step_snaps: List[List[np.ndarray]] = [[] for _ in range(self.steps)]
+        for start in range(0, len(x), batch_size):
+            xb = x[start:start + batch_size]
+            yb = y[start:start + batch_size]
+            adv = self._init(xb)
+            held = adv.copy()                      # best-so-far iterates
+            done = np.zeros(len(xb), dtype=bool)
+            for t in range(self.steps):
+                g = self.gradient(adv, yb)
+                adv = adv + self.alpha * np.sign(g)
+                adv = project_linf(adv, xb, self.eps).astype(xb.dtype)
+                if self.keep_best:
+                    mask = self.is_success(adv, yb)
+                    if mask is not None:
+                        newly = mask & ~done
+                        held[newly] = adv[newly]
+                        done |= newly
+                if trace is not None:
+                    merged = np.where(done[:, None, None, None], held, adv)
+                    step_snaps[t].append(merged)
+            final = np.where(done[:, None, None, None], held, adv)
+            outs.append(final)
+        if trace is not None:
+            for t in range(self.steps):
+                trace.record(np.concatenate(step_snaps[t], axis=0))
+        return np.concatenate(outs, axis=0)

@@ -1,0 +1,58 @@
+"""Carlini-Wagner L-inf attack (the §5.4 baseline).
+
+Uses the CW margin loss
+
+    f(x) = max(Z(x)_y - max_{i != y} Z(x)_i, -kappa)
+
+inside the PGD projection loop, the formulation Madry et al. (2018)
+adopt for apples-to-apples L-inf comparison (and the hyper-parameter
+setup the paper says it follows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
+                   input_gradient)
+
+
+def cw_margin_loss(logits: Tensor, y: np.ndarray, kappa: float = 0.0) -> Tensor:
+    """Summed CW f6 loss (to be *descended*, i.e. we ascend its negation).
+
+    Positive while the true class still wins; minimized at ``-kappa``
+    once the runner-up overtakes by margin ``kappa``.
+    """
+    y = np.asarray(y)
+    true_logit = logits.gather_rows(y)
+    # mask out the true class with -inf before taking the runner-up max
+    mask = np.zeros(logits.shape, dtype=logits.data.dtype)
+    mask[np.arange(len(y)), y] = -np.inf
+    other_best = (logits + Tensor(np.nan_to_num(mask, neginf=-1e9))).max(axis=1)
+    margin = true_logit - other_best
+    return margin.maximum(-kappa).sum()
+
+
+class CWLinf(Attack):
+    """CW margin loss under an L-inf budget via iterated sign steps."""
+
+    def __init__(self, model: Module, eps: float = DEFAULT_EPS,
+                 alpha: float = DEFAULT_ALPHA, steps: int = DEFAULT_STEPS,
+                 kappa: float = 0.0, random_start: bool = False,
+                 keep_best: bool = True, seed: int = 0):
+        super().__init__(eps, alpha, steps, random_start, keep_best, seed)
+        self.model = model
+        self.model.eval()
+        self.kappa = float(kappa)
+
+    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # ascend -f: push the true-class margin down
+        return input_gradient(
+            lambda xt: -cw_margin_loss(self.model(xt), y, self.kappa), x_adv)
+
+    def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """CW's goal: the target model mispredicts."""
+        from ..training.evaluate import predict_labels
+        return predict_labels(self.model, x_adv, batch_size=len(x_adv)) != y

@@ -1,0 +1,118 @@
+"""DIVA — the paper's DIfferential eVasive Attack (§4).
+
+The attack ascends
+
+    L_DIVA(x, y) = p_orig(x)[y] - c * p_adapted(x)[y]           (Eq. 5)
+
+under an L-inf budget.  Raising ``p_orig[y]`` keeps the authoritative
+full-precision model confidently correct (evasion); lowering
+``p_adapted[y]`` flips the edge model (attack).  ``c`` trades the two
+goals (§5.3); the paper's default is ``c = 1``.
+
+The same class powers every threat model: whitebox passes the true
+(original, adapted) pair; semi-blackbox passes (surrogate original,
+true adapted); blackbox passes (surrogate original, surrogate adapted)
+— see :mod:`repro.attacks.surrogate` for the pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
+                   input_gradient)
+
+
+def diva_loss(orig_probs: Tensor, adapted_probs: Tensor, y: np.ndarray,
+              c: float = 1.0) -> Tensor:
+    """Summed Eq. 5 over a batch."""
+    y = np.asarray(y)
+    return (orig_probs.gather_rows(y) - c * adapted_probs.gather_rows(y)).sum()
+
+
+class DIVA(Attack):
+    """Whitebox DIVA (§4.2): joint ascent over both models' probabilities.
+
+    Parameters
+    ----------
+    original: the model whose prediction must *not* change (evasion).
+    adapted: the model to flip (attack).
+    c: Eq. 5 balance hyper-parameter.
+    """
+
+    def __init__(self, original: Module, adapted: Module, c: float = 1.0,
+                 eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
+                 steps: int = DEFAULT_STEPS, random_start: bool = False,
+                 keep_best: bool = True, seed: int = 0):
+        super().__init__(eps, alpha, steps, random_start, keep_best, seed)
+        self.original = original
+        self.adapted = adapted
+        self.c = float(c)
+        self.original.eval()
+        self.adapted.eval()
+
+    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        def loss(xt: Tensor) -> Tensor:
+            p_orig = F.softmax(self.original(xt), axis=-1)
+            p_adapt = F.softmax(self.adapted(xt), axis=-1)
+            return diva_loss(p_orig, p_adapt, y, self.c)
+        return input_gradient(loss, x_adv)
+
+    def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """DIVA's goal: original stays correct AND adapted flips.
+
+        Note the check runs against the models the *attacker* holds —
+        for surrogate pipelines that is the surrogate pair, so no
+        illegitimate information about the true models leaks in.
+        """
+        from ..training.evaluate import predict_labels
+        po = predict_labels(self.original, x_adv, batch_size=len(x_adv))
+        pa = predict_labels(self.adapted, x_adv, batch_size=len(x_adv))
+        return (po == y) & (pa != y)
+
+
+class TargetedDIVA(DIVA):
+    """Targeted variant (§6): steer the adapted model toward a chosen
+    class while evading the original model.
+
+    Adds to Eq. 5 a term pulling the adapted model's distribution toward
+    the one-hot target — "increases the loss based on its distance away
+    from a one-hot vector with the value of 1 being at the position of
+    the target class".
+    """
+
+    def __init__(self, original: Module, adapted: Module, target_class: int,
+                 c: float = 1.0, target_weight: float = 1.0,
+                 eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
+                 steps: int = DEFAULT_STEPS, random_start: bool = False,
+                 keep_best: bool = True, seed: int = 0):
+        super().__init__(original, adapted, c, eps, alpha, steps,
+                         random_start, keep_best, seed)
+        self.target_class = int(target_class)
+        self.target_weight = float(target_weight)
+
+    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        tgt = np.full(len(x_adv), self.target_class)
+
+        def loss(xt: Tensor) -> Tensor:
+            p_orig = F.softmax(self.original(xt), axis=-1)
+            p_adapt = F.softmax(self.adapted(xt), axis=-1)
+            base = diva_loss(p_orig, p_adapt, y, self.c)
+            # negative squared distance to the one-hot target, ascended
+            onehot = np.zeros(p_adapt.shape, dtype=p_adapt.data.dtype)
+            onehot[np.arange(len(tgt)), tgt] = 1.0
+            d = p_adapt - Tensor(onehot)
+            return base - self.target_weight * (d * d).sum()
+        return input_gradient(loss, x_adv)
+
+    def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Targeted goal: original stays correct AND adapted says target."""
+        from ..training.evaluate import predict_labels
+        po = predict_labels(self.original, x_adv, batch_size=len(x_adv))
+        pa = predict_labels(self.adapted, x_adv, batch_size=len(x_adv))
+        return (po == y) & (pa == self.target_class) & (np.asarray(y) != self.target_class)

@@ -1,0 +1,54 @@
+"""Single-step attacks: FGSM (Goodfellow et al.) and R+FGSM (Tramer et al.).
+
+Included as the historical baselines the paper's background (§2.2) builds
+from; PGD (the paper's main baseline) is their iterated form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .base import DEFAULT_EPS, input_gradient, project_linf
+
+
+def fgsm(model: Module, x: np.ndarray, y: np.ndarray,
+         eps: float = DEFAULT_EPS, batch_size: int = 128) -> np.ndarray:
+    """Fast Gradient Sign Method: one eps-sized sign step (Eq. 2)."""
+    model.eval()
+    outs = []
+    y = np.asarray(y)
+    for start in range(0, len(x), batch_size):
+        xb = x[start:start + batch_size]
+        yb = y[start:start + batch_size]
+        g = input_gradient(
+            lambda xt: F.cross_entropy(model(xt), yb, reduction="sum"), xb)
+        outs.append(project_linf(xb + eps * np.sign(g), xb, eps).astype(xb.dtype))
+    return np.concatenate(outs, axis=0)
+
+
+def r_fgsm(model: Module, x: np.ndarray, y: np.ndarray,
+           eps: float = DEFAULT_EPS, alpha: Optional[float] = None,
+           seed: int = 0, batch_size: int = 128) -> np.ndarray:
+    """R+FGSM: random step of size ``alpha`` then an FGSM step of the
+    remaining budget ``eps - alpha``."""
+    alpha = eps / 2 if alpha is None else alpha
+    if not 0 < alpha < eps:
+        raise ValueError("alpha must satisfy 0 < alpha < eps")
+    rng = np.random.default_rng(seed)
+    model.eval()
+    outs = []
+    y = np.asarray(y)
+    for start in range(0, len(x), batch_size):
+        xb = x[start:start + batch_size]
+        yb = y[start:start + batch_size]
+        x0 = project_linf(
+            xb + alpha * np.sign(rng.normal(size=xb.shape)), xb, eps).astype(xb.dtype)
+        g = input_gradient(
+            lambda xt: F.cross_entropy(model(xt), yb, reduction="sum"), x0)
+        outs.append(project_linf(x0 + (eps - alpha) * np.sign(g), xb, eps).astype(xb.dtype))
+    return np.concatenate(outs, axis=0)

@@ -1,0 +1,83 @@
+"""Dataset containers and batching utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory dataset of images and integer labels.
+
+    Attributes
+    ----------
+    x: float array (N, C, H, W), pixel values in [0, 1].
+    y: int array (N,).
+    num_classes: label-space size (may exceed ``y.max()+1`` for subsets).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y)
+        if len(self.x) != len(self.y):
+            raise ValueError(f"x/y length mismatch: {len(self.x)} vs {len(self.y)}")
+        if self.x.ndim != 4:
+            raise ValueError(f"x must be (N, C, H, W), got {self.x.shape}")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        idx = np.asarray(indices)
+        return ArrayDataset(self.x[idx], self.y[idx], self.num_classes)
+
+    def split(self, fraction: float, rng: Optional[np.random.Generator] = None
+              ) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Random split into (first, second) with ``fraction`` in the first."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        n = len(self)
+        order = rng.permutation(n)
+        k = int(round(n * fraction))
+        return self.subset(order[:k]), self.subset(order[k:])
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.y, minlength=self.num_classes)
+
+
+def iterate_batches(x: np.ndarray, y: Optional[np.ndarray], batch_size: int,
+                    shuffle: bool = False,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Yield (x_batch, y_batch) slices; deterministic under a given rng."""
+    n = len(x)
+    order = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        yield x[idx], (None if y is None else y[idx])
+
+
+def stratified_sample(y: np.ndarray, per_class: int,
+                      rng: Optional[np.random.Generator] = None,
+                      num_classes: Optional[int] = None) -> np.ndarray:
+    """Indices of up to ``per_class`` samples from each class."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    y = np.asarray(y)
+    classes = range(num_classes if num_classes is not None else int(y.max()) + 1)
+    picks = []
+    for c in classes:
+        pool = np.flatnonzero(y == c)
+        if len(pool) == 0:
+            continue
+        take = min(per_class, len(pool))
+        picks.append(rng.choice(pool, size=take, replace=False))
+    return np.sort(np.concatenate(picks)) if picks else np.array([], dtype=int)

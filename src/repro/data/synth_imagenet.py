@@ -1,0 +1,132 @@
+"""Procedural image-classification dataset — the ImageNet stand-in.
+
+The paper's main dataset is 50k ImageNet validation images over 1000
+classes.  Offline and CPU-bound, we substitute a procedural generator
+with the properties the experiments actually depend on:
+
+- many visually-structured classes (textures + blob layouts + color);
+- instance variation (jitter, lighting, noise) that puts model accuracy
+  in the paper's regime (roughly 70-90% rather than saturated), so both
+  honest mistakes and fp32-vs-int8 prediction instability exist;
+- smooth pixel intensities so gradient-based attacks behave as on
+  natural images.
+
+Each class draws a prototype (sinusoidal texture + 3 Gaussian blobs +
+base color) from a class-seeded generator; each image perturbs the
+prototype.  Difficulty is controlled by ``noise`` and ``jitter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .datasets import ArrayDataset
+
+
+@dataclass(frozen=True)
+class SynthImageNetConfig:
+    """Generation parameters for the procedural dataset."""
+
+    num_classes: int = 10
+    image_size: int = 16
+    noise: float = 0.18          # additive Gaussian pixel noise (difficulty)
+    jitter: float = 0.10         # geometric/texture instance jitter
+    color_jitter: float = 0.15
+    seed: int = 7
+
+
+def _class_prototype(cls: int, cfg: SynthImageNetConfig) -> dict:
+    """Deterministic per-class appearance parameters."""
+    rng = np.random.default_rng((cfg.seed, cls, 0xC1A55))
+    return {
+        "freq": rng.uniform(1.0, 4.0, size=2),          # texture frequency
+        "orient": rng.uniform(0, np.pi),                # texture orientation
+        "tex_amp": rng.uniform(0.10, 0.25),
+        "base_color": rng.uniform(0.25, 0.75, size=3),
+        "blob_pos": rng.uniform(0.2, 0.8, size=(3, 2)),
+        "blob_sigma": rng.uniform(0.08, 0.22, size=3),
+        "blob_amp": rng.uniform(0.3, 0.6, size=3) * rng.choice([-1, 1], size=3),
+        "blob_color": rng.uniform(-0.4, 0.4, size=(3, 3)),
+    }
+
+
+def _render(proto: dict, rng: np.random.Generator,
+            cfg: SynthImageNetConfig, n: int) -> np.ndarray:
+    """Render ``n`` instances of a class prototype, vectorized over n."""
+    s = cfg.image_size
+    yy, xx = np.meshgrid(np.linspace(0, 1, s), np.linspace(0, 1, s), indexing="ij")
+    yy = yy[None, :, :]
+    xx = xx[None, :, :]
+
+    # texture: oriented sinusoid with jittered phase/orientation per image
+    orient = proto["orient"] + rng.normal(0, cfg.jitter, size=(n, 1, 1))
+    phase = rng.uniform(0, 2 * np.pi, size=(n, 1, 1))
+    fx, fy = proto["freq"]
+    u = np.cos(orient) * xx + np.sin(orient) * yy
+    v = -np.sin(orient) * xx + np.cos(orient) * yy
+    tex = np.sin(2 * np.pi * (fx * u + fy * v) + phase) * proto["tex_amp"]
+
+    img = np.zeros((n, 3, s, s))
+    base = proto["base_color"] * (1.0 + rng.normal(0, cfg.color_jitter, size=(n, 3)))
+    img += base[:, :, None, None]
+    img += tex[:, None, :, :]
+
+    for b in range(3):
+        pos = proto["blob_pos"][b] + rng.normal(0, cfg.jitter, size=(n, 2))
+        sig = proto["blob_sigma"][b] * (1.0 + rng.normal(0, cfg.jitter, size=(n,)))
+        sig = np.clip(sig, 0.04, 0.5)
+        d2 = (xx - pos[:, 0, None, None]) ** 2 + (yy - pos[:, 1, None, None]) ** 2
+        bump = np.exp(-d2 / (2 * sig[:, None, None] ** 2)) * proto["blob_amp"][b]
+        color = 1.0 + proto["blob_color"][b]
+        img += bump[:, None, :, :] * color[None, :, None, None]
+
+    # lighting gradient: random direction, mild strength
+    gdir = rng.uniform(0, 2 * np.pi, size=(n, 1, 1))
+    gstr = rng.uniform(0.0, 0.15, size=(n, 1, 1))
+    light = gstr * (np.cos(gdir) * (xx - 0.5) + np.sin(gdir) * (yy - 0.5))
+    img += light[:, None, :, :]
+
+    img += rng.normal(0, cfg.noise, size=img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+def generate_synth_imagenet(n_per_class: int,
+                            cfg: Optional[SynthImageNetConfig] = None,
+                            split_seed: int = 0) -> ArrayDataset:
+    """Generate a balanced dataset of ``n_per_class`` images per class.
+
+    ``split_seed`` decorrelates draws so train/val/surrogate sets share
+    class prototypes (the population) but never an instance — mirroring
+    the paper's disjoint ImageNet splits (§5.1).
+    """
+    cfg = cfg if cfg is not None else SynthImageNetConfig()
+    xs, ys = [], []
+    for cls in range(cfg.num_classes):
+        proto = _class_prototype(cls, cfg)
+        rng = np.random.default_rng((cfg.seed, cls, split_seed, 0xDA7A))
+        xs.append(_render(proto, rng, cfg, n_per_class))
+        ys.append(np.full(n_per_class, cls, dtype=np.int64))
+    x = np.concatenate(xs).astype(np.float32)
+    y = np.concatenate(ys)
+    order = np.random.default_rng((cfg.seed, split_seed, 0x5F)).permutation(len(x))
+    return ArrayDataset(x[order], y[order], cfg.num_classes)
+
+
+def standard_splits(cfg: Optional[SynthImageNetConfig] = None,
+                    train_per_class: int = 200, val_per_class: int = 60,
+                    surrogate_per_class: int = 60
+                    ) -> Tuple[ArrayDataset, ArrayDataset, ArrayDataset]:
+    """(train, val, surrogate) with disjoint instances, shared classes.
+
+    The surrogate split plays the role of the paper's 12,811 extra
+    ImageNet-train images used to distill surrogate models — disjoint
+    from both the operator's train set and the attack evaluation set.
+    """
+    cfg = cfg if cfg is not None else SynthImageNetConfig()
+    train = generate_synth_imagenet(train_per_class, cfg, split_seed=1)
+    val = generate_synth_imagenet(val_per_class, cfg, split_seed=2)
+    surrogate = generate_synth_imagenet(surrogate_per_class, cfg, split_seed=3)
+    return train, val, surrogate

@@ -1,0 +1,69 @@
+"""Lightweight data transforms (augmentation and normalization)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def normalize(x: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    """Channel-wise normalization of (N, C, H, W) images."""
+    mean = np.asarray(mean).reshape(1, -1, 1, 1)
+    std = np.asarray(std).reshape(1, -1, 1, 1)
+    return (x - mean) / std
+
+
+def denormalize(x: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    mean = np.asarray(mean).reshape(1, -1, 1, 1)
+    std = np.asarray(std).reshape(1, -1, 1, 1)
+    return x * std + mean
+
+
+def channel_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean/std over a (N, C, H, W) batch."""
+    return x.mean(axis=(0, 2, 3)), x.std(axis=(0, 2, 3))
+
+
+def random_horizontal_flip(x: np.ndarray, rng: np.random.Generator,
+                           p: float = 0.5) -> np.ndarray:
+    """Flip each image left-right with probability ``p``."""
+    flips = rng.random(len(x)) < p
+    out = x.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def random_shift(x: np.ndarray, rng: np.random.Generator,
+                 max_shift: int = 2) -> np.ndarray:
+    """Integer-pixel random translation with zero padding."""
+    n, c, h, w = x.shape
+    pad = np.pad(x, ((0, 0), (0, 0), (max_shift, max_shift),
+                     (max_shift, max_shift)))
+    out = np.empty_like(x)
+    offsets = rng.integers(0, 2 * max_shift + 1, size=(n, 2))
+    for i in range(n):  # small n, cheap slicing; no numerics involved
+        oy, ox = offsets[i]
+        out[i] = pad[i, :, oy:oy + h, ox:ox + w]
+    return out
+
+
+def additive_noise(x: np.ndarray, rng: np.random.Generator,
+                   sigma: float = 0.02, clip: bool = True) -> np.ndarray:
+    """Gaussian pixel noise (optionally clipped back to [0, 1])."""
+    out = x + rng.normal(0, sigma, size=x.shape).astype(x.dtype)
+    return np.clip(out, 0, 1) if clip else out
+
+
+def augment_batch(x: np.ndarray, rng: np.random.Generator,
+                  flip: bool = True, shift: int = 2,
+                  noise: float = 0.0) -> np.ndarray:
+    """Default training augmentation pipeline."""
+    out = x
+    if flip:
+        out = random_horizontal_flip(out, rng)
+    if shift:
+        out = random_shift(out, rng, shift)
+    if noise > 0:
+        out = additive_noise(out, rng, noise)
+    return out

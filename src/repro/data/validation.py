@@ -1,0 +1,53 @@
+"""Attack-set selection, following the paper's protocol (§5.1).
+
+"When selecting these 3,000 validation images, we ensure that they are
+correctly classified by all relevant models and architectures", balanced
+over classes.  Evaluating attacks only on samples every involved model
+already gets right is what makes the success metrics well-defined: a
+success must be *caused* by the perturbation, not a pre-existing error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from ..training.evaluate import predict_labels
+from .datasets import ArrayDataset
+
+
+def correctly_classified_mask(models: Sequence[Module], x: np.ndarray,
+                              y: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Boolean mask of samples every model in ``models`` classifies right."""
+    mask = np.ones(len(x), dtype=bool)
+    for model in models:
+        preds = predict_labels(model, x, batch_size=batch_size)
+        mask &= preds == y
+    return mask
+
+
+def select_attack_set(dataset: ArrayDataset, models: Sequence[Module],
+                      per_class: int, rng: Optional[np.random.Generator] = None,
+                      batch_size: int = 128) -> ArrayDataset:
+    """Class-balanced subset correctly classified by all ``models``.
+
+    Takes up to ``per_class`` samples per class from the eligible pool.
+    Classes with an empty eligible pool are skipped (matches the paper's
+    "average of three images per class" phrasing — coverage is
+    best-effort under correctness constraints).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    ok = correctly_classified_mask(models, dataset.x, dataset.y, batch_size)
+    picks: List[np.ndarray] = []
+    for cls in range(dataset.num_classes):
+        pool = np.flatnonzero(ok & (dataset.y == cls))
+        if len(pool) == 0:
+            continue
+        take = min(per_class, len(pool))
+        picks.append(rng.choice(pool, size=take, replace=False))
+    if not picks:
+        raise RuntimeError("no sample is correctly classified by all models")
+    idx = np.sort(np.concatenate(picks))
+    return dataset.subset(idx)

@@ -1,0 +1,5 @@
+"""``repro.defense`` — PGD minimax robust training (§2.3, §5.5)."""
+
+from .robust_training import adversarial_fit, pgd_perturb, robust_accuracy
+
+__all__ = ["adversarial_fit", "pgd_perturb", "robust_accuracy"]

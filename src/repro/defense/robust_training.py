@@ -1,0 +1,85 @@
+"""PGD minimax adversarial training — the §5.5 defense.
+
+Solves Eq. 4: minimize over weights the maximum loss an eps-bounded
+perturbation can induce, by training on PGD adversarial examples crafted
+against the current weights (Madry et al. 2018).  As the paper notes,
+robust training is applied to the *original* full-precision model on the
+server; the adapted model is then derived from the robust original via
+the usual QAT pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..attacks.base import DEFAULT_EPS, input_gradient, project_linf
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.optim import Optimizer, SGD
+from ..nn.tensor import Tensor
+from ..training.evaluate import predict_labels
+
+
+def pgd_perturb(model: Module, x: np.ndarray, y: np.ndarray, eps: float,
+                alpha: float, steps: int) -> np.ndarray:
+    """Inner maximization: PGD against the *current* weights."""
+    model.eval()
+    adv = x.copy()
+    for _ in range(steps):
+        g = input_gradient(
+            lambda xt: F.cross_entropy(model(xt), y, reduction="sum"), adv)
+        adv = project_linf(adv + alpha * np.sign(g), x, eps).astype(x.dtype)
+    return adv
+
+
+def adversarial_fit(model: Module, x_train: np.ndarray, y_train: np.ndarray,
+                    epochs: int = 5, batch_size: int = 64, lr: float = 0.01,
+                    momentum: float = 0.9, weight_decay: float = 1e-4,
+                    eps: float = DEFAULT_EPS, attack_alpha: float = 2.0 / 255.0,
+                    attack_steps: int = 7,
+                    optimizer: Optional[Optimizer] = None, seed: int = 0,
+                    log_fn: Optional[Callable[[str], None]] = None) -> Module:
+    """Adversarial training loop (Eq. 4's outer minimization).
+
+    Uses the usual budget split: a handful of inner PGD steps per batch
+    (7 by default — the cost the paper cites as why robust training only
+    runs on servers).
+    """
+    rng = np.random.default_rng(seed)
+    opt = optimizer if optimizer is not None else SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    n = len(x_train)
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            xb, yb = x_train[idx], y_train[idx]
+            adv = pgd_perturb(model, xb, yb, eps, attack_alpha, attack_steps)
+            model.train()
+            logits = model(Tensor(adv))
+            loss = F.cross_entropy(logits, yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            model.eval()
+            total += float(loss.data) * len(idx)
+        if log_fn:
+            log_fn(f"robust epoch {epoch}: adv loss={total / n:.4f}")
+    model.eval()
+    return model
+
+
+def robust_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                    eps: float = DEFAULT_EPS, alpha: float = 1.0 / 255.0,
+                    steps: int = 20, batch_size: int = 64) -> float:
+    """Accuracy under a full-strength PGD evaluation attack."""
+    y = np.asarray(y)
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        xb, yb = x[start:start + batch_size], y[start:start + batch_size]
+        adv = pgd_perturb(model, xb, yb, eps, alpha, steps)
+        correct += int((predict_labels(model, adv) == yb).sum())
+    return correct / len(x)

@@ -1,0 +1,6 @@
+"""``repro.distillation`` — knowledge distillation for surrogate models."""
+
+from .distill import agreement, distill
+from .losses import distillation_loss, soften
+
+__all__ = ["distill", "agreement", "distillation_loss", "soften"]

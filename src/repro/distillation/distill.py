@@ -1,0 +1,67 @@
+"""Surrogate-model construction by knowledge distillation (§4.3, §4.4).
+
+The attacker holds the adapted model (extracted from an edge device) and
+a modest unlabeled image pool disjoint from the operator's training data.
+``distill`` trains a student to match the teacher's outputs on that pool.
+
+Used twice by the attack pipelines:
+
+- semi-blackbox: teacher = true adapted model, student = full-precision
+  clone -> surrogate *original* model;
+- blackbox: the distilled full-precision surrogate is additionally
+  re-adapted (QAT) to produce a surrogate *adapted* model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim import Adam, Optimizer
+from ..nn.tensor import Tensor
+from ..training.evaluate import predict_logits
+from .losses import distillation_loss
+
+
+def distill(teacher: Module, student: Module, images: np.ndarray,
+            epochs: int = 8, batch_size: int = 64, lr: float = 1e-3,
+            temperature: float = 4.0, alpha: float = 0.7,
+            optimizer: Optional[Optimizer] = None, seed: int = 0,
+            log_fn: Optional[Callable[[str], None]] = None) -> Module:
+    """Train ``student`` to imitate ``teacher`` on unlabeled ``images``.
+
+    The teacher is queried once up front (labels + logits are all the
+    attacker needs); the student then minimizes the KD objective.
+    """
+    teacher_logits = predict_logits(teacher, images)
+    rng = np.random.default_rng(seed)
+    opt = optimizer if optimizer is not None else Adam(student.parameters(), lr=lr)
+    n = len(images)
+    student.train()
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            logits = student(Tensor(images[idx]))
+            loss = distillation_loss(logits, teacher_logits[idx],
+                                     temperature=temperature, alpha=alpha)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            total += float(loss.data) * len(idx)
+        if log_fn:
+            log_fn(f"distill epoch {epoch}: loss={total / n:.4f}")
+    student.eval()
+    return student
+
+
+def agreement(model_a: Module, model_b: Module, images: np.ndarray,
+              batch_size: int = 128) -> float:
+    """Fraction of images on which two models predict the same label —
+    the fidelity metric for judging surrogate quality."""
+    pa = predict_logits(model_a, images, batch_size).argmax(axis=1)
+    pb = predict_logits(model_b, images, batch_size).argmax(axis=1)
+    return float((pa == pb).mean())

@@ -1,0 +1,42 @@
+"""Knowledge-distillation losses (Hinton et al. 2015).
+
+The semi-blackbox attack (§4.3) trains a full-precision surrogate to
+imitate the adapted model: hard-label cross-entropy against the teacher's
+predicted labels, plus temperature-softened KL against the teacher's
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+def soften(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Temperature-softened softmax of constant (teacher) logits."""
+    z = np.asarray(logits, dtype=np.float64) / temperature
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def distillation_loss(student_logits: Tensor, teacher_logits: np.ndarray,
+                      temperature: float = 4.0, alpha: float = 0.7) -> Tensor:
+    """Hinton KD objective.
+
+    ``alpha`` weights the soft (KL) term; ``1 - alpha`` weights hard-label
+    CE against the teacher's argmax labels (the labels an attacker can
+    observe even from a prediction-only API).  The soft term carries the
+    classic ``T^2`` gradient-rescaling factor.
+    """
+    teacher_logits = np.asarray(teacher_logits)
+    soft_targets = soften(teacher_logits, temperature)
+    logp_t = F.log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    soft = F.kl_div(logp_t, soft_targets, reduction="batchmean") * (temperature ** 2)
+    hard_labels = teacher_logits.argmax(axis=-1)
+    hard = F.cross_entropy(student_logits, hard_labels)
+    return soft * alpha + hard * (1.0 - alpha)

@@ -1,0 +1,14 @@
+"""``repro.edge`` — integer-only inference engine (the TFLite stand-in
+for the paper's §6 edge deployment)."""
+
+from .compile import compile_edge
+from .engine import (Dequantize, EdgeLogits, EdgeModel, EdgeOp, QConv2d,
+                     QFlatten, QLinear, QMaxPool2d, QReLU, QuantizeInput)
+from .serialization import load_edge_model, save_edge_model
+
+__all__ = [
+    "compile_edge", "EdgeModel", "EdgeOp", "EdgeLogits",
+    "QuantizeInput", "QConv2d", "QLinear", "QReLU", "QMaxPool2d",
+    "QFlatten", "Dequantize",
+    "save_edge_model", "load_edge_model",
+]

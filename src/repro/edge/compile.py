@@ -1,0 +1,90 @@
+"""Compile a frozen QAT model into an :class:`EdgeModel` (TFLite-style
+conversion).
+
+Requirements mirror a real converter's:
+
+- the inner model must expose ``edge_layers()`` — an ordered feed-forward
+  layer list (LeNet and VGGFaceNet do);
+- every fake-quant grid must be frozen (run ``qat_model.freeze()`` after
+  QAT, the "convert" step);
+- layers must be Conv2d / Linear / ReLU / MaxPool2d / Flatten.  BatchNorm
+  is deliberately unsupported: production converters fold BN into convs,
+  and edge-deployable models here are built BN-free (biased convs), which
+  is also how the original VGG was trained.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from ..quantization.affine import QuantParams, quantize
+from ..quantization.qat import QATModel
+from .engine import (Dequantize, EdgeModel, EdgeOp, QConv2d, QFlatten,
+                     QLinear, QMaxPool2d, QReLU, QuantizeInput)
+
+
+def _frozen_qparams(fq, what: str) -> QuantParams:
+    if fq is None:
+        raise ValueError(f"{what}: layer has no fake-quant module; "
+                         "was the model prepared with prepare_qat?")
+    if not fq.frozen:
+        raise ValueError(f"{what}: fake-quant grid not frozen; call "
+                         "qat_model.freeze() before compiling")
+    return fq.qparams()
+
+
+def compile_edge(qat_model: QATModel, num_classes: int) -> EdgeModel:
+    """Lower a frozen QAT model to the integer engine."""
+    inner = qat_model.model
+    if not hasattr(inner, "edge_layers"):
+        raise TypeError(f"{type(inner).__name__} exposes no edge_layers(); "
+                        "only feed-forward architectures are edge-compilable")
+    in_qp = _frozen_qparams(qat_model.input_fake_quant, "input")
+    ops: List[EdgeOp] = [QuantizeInput(in_qp)]
+    current_qp = in_qp
+    for layer in inner.edge_layers():
+        if isinstance(layer, Conv2d):
+            w_qp = _frozen_qparams(layer.weight_fake_quant, "conv weight")
+            out_qp = _frozen_qparams(layer.activation_post_process, "conv output")
+            w = layer.weight.data
+            if layer.weight_mask is not None:
+                w = w * layer.weight_mask
+            q_w = quantize(w, w_qp)
+            bias = layer.bias.data if layer.bias is not None else \
+                np.zeros(layer.out_channels)
+            w_scales = np.atleast_1d(np.asarray(w_qp.scale, dtype=np.float64))
+            bias_scale = float(current_qp.scale) * w_scales
+            bias_q = np.round(bias / bias_scale).astype(np.int64)
+            ops.append(QConv2d(q_w, bias_q, current_qp, w_qp, out_qp,
+                               stride=layer.stride, padding=layer.padding,
+                               groups=layer.groups))
+            current_qp = out_qp
+        elif isinstance(layer, Linear):
+            w_qp = _frozen_qparams(layer.weight_fake_quant, "linear weight")
+            out_qp = _frozen_qparams(layer.activation_post_process, "linear output")
+            w = layer.weight.data
+            if layer.weight_mask is not None:
+                w = w * layer.weight_mask
+            q_w = quantize(w, w_qp)
+            bias = layer.bias.data if layer.bias is not None else \
+                np.zeros(layer.out_features)
+            w_scales = np.atleast_1d(np.asarray(w_qp.scale, dtype=np.float64))
+            bias_scale = float(current_qp.scale) * w_scales
+            bias_q = np.round(bias / bias_scale).astype(np.int64)
+            ops.append(QLinear(q_w, bias_q, current_qp, w_qp, out_qp))
+            current_qp = out_qp
+        elif isinstance(layer, ReLU):
+            out_qp = _frozen_qparams(layer.activation_post_process, "relu output")
+            ops.append(QReLU(current_qp, out_qp))
+            current_qp = out_qp
+        elif isinstance(layer, MaxPool2d):
+            ops.append(QMaxPool2d(layer.kernel_size, layer.stride, layer.padding))
+        elif isinstance(layer, Flatten):
+            ops.append(QFlatten())
+        else:
+            raise TypeError(f"edge compiler cannot lower {type(layer).__name__}")
+    ops.append(Dequantize(current_qp))
+    return EdgeModel(ops, num_classes)

@@ -1,0 +1,240 @@
+"""Integer-only inference engine — the reproduction's TFLite runtime.
+
+The paper's face-recognition case study (§6) converts the QAT model with
+TFLite and runs int8 inference on an ARM edge device; attacks are built
+with QAT gradients but *evaluated* on the deployed integer artifact.
+This engine reproduces that split: it executes feed-forward networks
+using int8 weights/activations, int64 accumulation and TFLite-style
+fixed-point requantization (multiplier + right shift), with no float
+arithmetic anywhere on the data path.
+
+Numerical relationship to the fake-quant (QAT) path: identical up to the
+31-bit quantization of the requantization multiplier, i.e. results on the
+integer grid match within 1 LSB (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quantization.affine import QuantParams, quantize_multiplier
+
+
+def _requantize_vec(acc: np.ndarray, m0: np.ndarray, shift: np.ndarray,
+                    axis: Optional[int] = None) -> np.ndarray:
+    """Fixed-point requantization, optionally per-channel along ``axis``."""
+    m0 = np.asarray(m0, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    if axis is not None and m0.ndim == 1:
+        shape = [1] * acc.ndim
+        shape[axis] = m0.size
+        m0 = m0.reshape(shape)
+        shift = shift.reshape(shape)
+    total = 31 + shift
+    prod = acc.astype(np.int64) * m0
+    rounding = np.int64(1) << (total - 1)
+    rounding = np.where(prod >= 0, rounding, rounding - 1)
+    return (prod + rounding) >> total
+
+
+class EdgeOp:
+    """Base class for integer ops; maps int tensors to int tensors."""
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class QuantizeInput(EdgeOp):
+    """Float pixels -> integer grid (the only non-integer boundary op)."""
+
+    qp: QuantParams
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        s = float(self.qp.scale)
+        z = float(self.qp.zero_point)
+        q = np.round(x.astype(np.float64) / s) + z
+        return np.clip(q, self.qp.qmin, self.qp.qmax).astype(np.int32)
+
+
+class QConv2d(EdgeOp):
+    """Integer convolution: int8 weights, int64 accumulate, requantize.
+
+    The input zero-point is subtracted before the convolution (weights
+    are symmetric, so no weight zero-point), making zero padding exact.
+    """
+
+    def __init__(self, q_weight: np.ndarray, bias_q: np.ndarray,
+                 in_qp: QuantParams, w_qp: QuantParams, out_qp: QuantParams,
+                 stride: int = 1, padding: int = 0, groups: int = 1):
+        self.q_weight = q_weight.astype(np.int64)
+        self.bias_q = bias_q.astype(np.int64)
+        self.in_qp = in_qp
+        self.w_qp = w_qp
+        self.out_qp = out_qp
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        w_scales = np.atleast_1d(np.asarray(w_qp.scale, dtype=np.float64))
+        real_mult = (float(in_qp.scale) * w_scales) / float(out_qp.scale)
+        pairs = [quantize_multiplier(m) for m in real_mult]
+        self.m0 = np.array([p[0] for p in pairs], dtype=np.int64)
+        self.shift = np.array([p[1] for p in pairs], dtype=np.int64)
+        self.per_channel = w_qp.axis is not None
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        from ..nn.functional import _im2col
+        centered = q.astype(np.int64) - int(self.in_qp.zero_point)
+        kh, kw = self.q_weight.shape[2], self.q_weight.shape[3]
+        cols, (oh, ow) = _im2col(centered, kh, kw, self.stride, self.stride,
+                                 self.padding, self.padding)
+        N, C = q.shape[0], q.shape[1]
+        F_out = self.q_weight.shape[0]
+        if self.groups == 1:
+            cols2 = np.ascontiguousarray(
+                cols.transpose(0, 4, 5, 1, 2, 3)).reshape(N, oh, ow, C * kh * kw)
+            wmat = self.q_weight.reshape(F_out, -1).T
+            acc = cols2 @ wmat                      # int64 matmul
+            acc = acc.transpose(0, 3, 1, 2)
+        else:
+            G = self.groups
+            Cg = C // G
+            Fg = F_out // G
+            colsg = cols.reshape(N, G, Cg, kh, kw, oh, ow)
+            cols2 = np.ascontiguousarray(
+                colsg.transpose(0, 1, 5, 6, 2, 3, 4)).reshape(N, G, oh, ow, -1)
+            wmat = self.q_weight.reshape(G, Fg, -1)
+            acc = np.einsum("ngxyk,gfk->ngfxy", cols2, wmat)
+            acc = acc.reshape(N, F_out, oh, ow)
+        acc = acc + self.bias_q.reshape(1, F_out, 1, 1)
+        out = _requantize_vec(acc, self.m0, self.shift,
+                              axis=1 if self.per_channel else None)
+        out = out + int(self.out_qp.zero_point)
+        return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
+
+
+class QLinear(EdgeOp):
+    """Integer fully-connected layer (same scheme as QConv2d)."""
+
+    def __init__(self, q_weight: np.ndarray, bias_q: np.ndarray,
+                 in_qp: QuantParams, w_qp: QuantParams, out_qp: QuantParams):
+        self.q_weight = q_weight.astype(np.int64)
+        self.bias_q = bias_q.astype(np.int64)
+        self.in_qp = in_qp
+        self.w_qp = w_qp
+        self.out_qp = out_qp
+        w_scales = np.atleast_1d(np.asarray(w_qp.scale, dtype=np.float64))
+        real_mult = (float(in_qp.scale) * w_scales) / float(out_qp.scale)
+        pairs = [quantize_multiplier(m) for m in real_mult]
+        self.m0 = np.array([p[0] for p in pairs], dtype=np.int64)
+        self.shift = np.array([p[1] for p in pairs], dtype=np.int64)
+        self.per_channel = w_qp.axis is not None
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        centered = q.astype(np.int64) - int(self.in_qp.zero_point)
+        acc = centered @ self.q_weight.T + self.bias_q
+        out = _requantize_vec(acc, self.m0, self.shift,
+                              axis=1 if self.per_channel else None)
+        out = out + int(self.out_qp.zero_point)
+        return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
+
+
+class QReLU(EdgeOp):
+    """Integer ReLU with rescale between input and output grids."""
+
+    def __init__(self, in_qp: QuantParams, out_qp: QuantParams):
+        self.in_qp = in_qp
+        self.out_qp = out_qp
+        m0, shift = quantize_multiplier(float(in_qp.scale) / float(out_qp.scale))
+        self.m0, self.shift = m0, shift
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        centered = np.maximum(q.astype(np.int64) - int(self.in_qp.zero_point), 0)
+        out = _requantize_vec(centered, np.int64(self.m0), np.int64(self.shift))
+        out = out + int(self.out_qp.zero_point)
+        return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
+
+
+@dataclass
+class QMaxPool2d(EdgeOp):
+    """Max pooling commutes with monotone quantization: pool the ints."""
+
+    kernel: int
+    stride: Optional[int] = None
+    padding: int = 0
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        from ..nn.functional import _im2col
+        stride = self.stride if self.stride is not None else self.kernel
+        qq = q
+        if self.padding:
+            qq = np.pad(q, ((0, 0), (0, 0), (self.padding,) * 2,
+                            (self.padding,) * 2),
+                        constant_values=np.iinfo(np.int32).min)
+        cols, (oh, ow) = _im2col(qq, self.kernel, self.kernel, stride, stride, 0, 0)
+        return cols.max(axis=(2, 3)).astype(np.int32)
+
+
+class QFlatten(EdgeOp):
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        return q.reshape(len(q), -1)
+
+
+@dataclass
+class Dequantize(EdgeOp):
+    """Integer grid -> float (applied once, to the logits)."""
+
+    qp: QuantParams
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        return (q.astype(np.float64) - float(self.qp.zero_point)) * float(self.qp.scale)
+
+
+class EdgeModel:
+    """A compiled, inference-only integer network.
+
+    Behaves like a model for evaluation purposes (``__call__`` on float
+    pixel arrays returning float logits) but executes entirely on the
+    integer path in between.
+    """
+
+    def __init__(self, ops: Sequence[EdgeOp], num_classes: int):
+        self.ops = list(ops)
+        self.num_classes = num_classes
+        self.training = False
+
+    def eval(self) -> "EdgeModel":
+        return self
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Float pixels in, float logits out (integer path inside)."""
+        outs = []
+        for start in range(0, len(x), batch_size):
+            q = x[start:start + batch_size]
+            for op in self.ops:
+                q = op(q)
+            outs.append(np.asarray(q))
+        return np.concatenate(outs, axis=0)
+
+    def __call__(self, x) -> "EdgeLogits":
+        data = x.data if hasattr(x, "data") else np.asarray(x)
+        return EdgeLogits(self.predict(data))
+
+    def footprint_bytes(self) -> int:
+        """int8-weight + int32-bias storage (the deployed artifact size)."""
+        total = 0
+        for op in self.ops:
+            if isinstance(op, (QConv2d, QLinear)):
+                total += op.q_weight.size            # 1 byte per int8 weight
+                total += op.bias_q.size * 4
+        return total
+
+
+@dataclass
+class EdgeLogits:
+    """Minimal Tensor-like wrapper so evaluation helpers work unchanged."""
+
+    data: np.ndarray

@@ -1,0 +1,113 @@
+"""Edge artifact serialization — the deployable "flatbuffer".
+
+Stores a compiled :class:`~repro.edge.engine.EdgeModel` as an
+``.npz`` of integer tensors plus an op program, so a device-side process
+can run inference with nothing but this file and the engine (no float
+weights ever leave the server, matching real edge deployments).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+import numpy as np
+
+from ..quantization.affine import QuantParams
+from .engine import (Dequantize, EdgeModel, EdgeOp, QConv2d, QFlatten,
+                     QLinear, QMaxPool2d, QReLU, QuantizeInput)
+
+
+def _qp_to_dict(qp: QuantParams) -> dict:
+    return {"scale": np.asarray(qp.scale).tolist(),
+            "zero_point": np.asarray(qp.zero_point).tolist(),
+            "qmin": qp.qmin, "qmax": qp.qmax, "axis": qp.axis}
+
+
+def _qp_from_dict(d: dict) -> QuantParams:
+    return QuantParams(scale=np.asarray(d["scale"]),
+                       zero_point=np.asarray(d["zero_point"]),
+                       qmin=int(d["qmin"]), qmax=int(d["qmax"]),
+                       axis=d["axis"])
+
+
+def save_edge_model(edge: EdgeModel, path: str) -> None:
+    """Serialize the integer program + tensors to ``path`` (.npz)."""
+    program: List[dict] = []
+    tensors = {}
+    for i, op in enumerate(edge.ops):
+        if isinstance(op, QuantizeInput):
+            program.append({"op": "quantize", "qp": _qp_to_dict(op.qp)})
+        elif isinstance(op, QConv2d):
+            tensors[f"w{i}"] = op.q_weight.astype(np.int8)
+            tensors[f"b{i}"] = op.bias_q.astype(np.int64)
+            program.append({"op": "conv2d", "w": f"w{i}", "b": f"b{i}",
+                            "in_qp": _qp_to_dict(op.in_qp),
+                            "w_qp": _qp_to_dict(op.w_qp),
+                            "out_qp": _qp_to_dict(op.out_qp),
+                            "stride": op.stride, "padding": op.padding,
+                            "groups": op.groups})
+        elif isinstance(op, QLinear):
+            tensors[f"w{i}"] = op.q_weight.astype(np.int8)
+            tensors[f"b{i}"] = op.bias_q.astype(np.int64)
+            program.append({"op": "linear", "w": f"w{i}", "b": f"b{i}",
+                            "in_qp": _qp_to_dict(op.in_qp),
+                            "w_qp": _qp_to_dict(op.w_qp),
+                            "out_qp": _qp_to_dict(op.out_qp)})
+        elif isinstance(op, QReLU):
+            program.append({"op": "relu", "in_qp": _qp_to_dict(op.in_qp),
+                            "out_qp": _qp_to_dict(op.out_qp)})
+        elif isinstance(op, QMaxPool2d):
+            program.append({"op": "maxpool", "kernel": op.kernel,
+                            "stride": op.stride, "padding": op.padding})
+        elif isinstance(op, QFlatten):
+            program.append({"op": "flatten"})
+        elif isinstance(op, Dequantize):
+            program.append({"op": "dequantize", "qp": _qp_to_dict(op.qp)})
+        else:  # pragma: no cover - engine/serializer kept in sync
+            raise TypeError(f"cannot serialize op {type(op).__name__}")
+    meta = {"program": program, "num_classes": edge.num_classes}
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, __meta__=np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8), **tensors)
+
+
+def load_edge_model(path: str) -> EdgeModel:
+    """Rebuild an :class:`EdgeModel` from :func:`save_edge_model` output."""
+    with np.load(path) as npz:
+        meta = json.loads(bytes(npz["__meta__"]).decode())
+        tensors = {k: npz[k] for k in npz.files if k != "__meta__"}
+    ops: List[EdgeOp] = []
+    for spec in meta["program"]:
+        kind = spec["op"]
+        if kind == "quantize":
+            ops.append(QuantizeInput(_qp_from_dict(spec["qp"])))
+        elif kind == "conv2d":
+            ops.append(QConv2d(tensors[spec["w"]].astype(np.int64),
+                               tensors[spec["b"]],
+                               _qp_from_dict(spec["in_qp"]),
+                               _qp_from_dict(spec["w_qp"]),
+                               _qp_from_dict(spec["out_qp"]),
+                               stride=spec["stride"],
+                               padding=spec["padding"],
+                               groups=spec["groups"]))
+        elif kind == "linear":
+            ops.append(QLinear(tensors[spec["w"]].astype(np.int64),
+                               tensors[spec["b"]],
+                               _qp_from_dict(spec["in_qp"]),
+                               _qp_from_dict(spec["w_qp"]),
+                               _qp_from_dict(spec["out_qp"])))
+        elif kind == "relu":
+            ops.append(QReLU(_qp_from_dict(spec["in_qp"]),
+                             _qp_from_dict(spec["out_qp"])))
+        elif kind == "maxpool":
+            ops.append(QMaxPool2d(spec["kernel"], spec["stride"],
+                                  spec["padding"]))
+        elif kind == "flatten":
+            ops.append(QFlatten())
+        elif kind == "dequantize":
+            ops.append(Dequantize(_qp_from_dict(spec["qp"])))
+        else:
+            raise ValueError(f"unknown op in program: {kind!r}")
+    return EdgeModel(ops, meta["num_classes"])

@@ -1,0 +1,72 @@
+"""Model artifact cache.
+
+Training every model in the grid (3 architectures x {original, quantized,
+pruned, pruned+quantized, surrogate original, surrogate adapted} + robust
++ face + digit models) dominates experiment wall-clock.  The cache trains
+each artifact once per configuration and memoizes it on disk, so each
+benchmark re-derives only the attack under test.
+
+Storage is ``pickle`` — an *internal* cache format keyed by config hash
+(the public, stable serialization is ``repro.nn.save_state``'s npz).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Optional
+
+_DEFAULT_ROOT = os.environ.get(
+    "REPRO_ARTIFACTS",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), ".artifacts"))
+
+
+class ArtifactStore:
+    """Disk-backed memoization of expensive experiment artifacts."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root if root is not None else _DEFAULT_ROOT
+        self._memory: dict = {}
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.pkl")
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key`` or build + persist it."""
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path(key)
+        if os.path.exists(path):
+            with open(path, "rb") as f:
+                obj = pickle.load(f)
+            self._memory[key] = obj
+            return obj
+        obj = builder()
+        os.makedirs(self.root, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump(obj, f)
+        os.replace(tmp, path)
+        self._memory[key] = obj
+        return obj
+
+    def invalidate(self, key: str) -> None:
+        self._memory.pop(key, None)
+        path = self._path(key)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def clear_memory(self) -> None:
+        """Drop in-process cache (disk copies stay)."""
+        self._memory.clear()
+
+
+_STORE: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    global _STORE
+    if _STORE is None:
+        _STORE = ArtifactStore()
+    return _STORE

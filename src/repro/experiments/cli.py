@@ -1,0 +1,87 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-exp table1                 # Table 1 at paper-scale config
+    repro-exp fig6 --smoke           # Fig 6 at the tiny test scale
+    repro-exp all                    # the full grid (minutes on CPU)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from ..nn import set_default_dtype
+from .config import ExperimentConfig
+from .pipeline import Pipeline
+
+
+def _registry() -> Dict[str, Callable]:
+    from . import (exp_ablations, exp_distilled, exp_dssim, exp_fig1,
+                   exp_fig2, exp_fig4, exp_fig6, exp_fig7, exp_fig8,
+                   exp_fig10, exp_sec54, exp_sec55, exp_table1, exp_table2,
+                   exp_targeted)
+    return {
+        "table1": exp_table1.run,
+        "fig1": exp_fig1.run,
+        "fig2": exp_fig2.run,
+        "fig4": exp_fig4.run,
+        "fig6": exp_fig6.run,
+        "fig6d": exp_fig6.run_steps,
+        "table2": exp_table2.run,
+        "fig7": exp_fig7.run,
+        "dssim": exp_dssim.run,
+        "sec54": exp_sec54.run,
+        "sec55": exp_sec55.run,
+        "fig8": exp_fig8.run,
+        "fig10": exp_fig10.run,
+        "targeted": exp_targeted.run,
+        "ablation-bits": exp_ablations.run_bits,
+        "ablation-eps": exp_ablations.run_eps,
+        "ablation-keep-best": exp_ablations.run_keep_best,
+        "ablation-per-channel": exp_ablations.run_per_channel,
+        "distilled": exp_distilled.run,
+    }
+
+
+def main(argv=None) -> int:
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(registry) + ["all", "report"],
+                        help="which table/figure to regenerate, or "
+                             "'report' to rebuild EXPERIMENTS.md from "
+                             "existing results")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the tiny test scale (fast, inaccurate)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    set_default_dtype("float32")
+    if args.experiment == "report":
+        from .report import write_report
+        print(f"wrote {write_report()}")
+        return 0
+
+    base = (ExperimentConfig.smoke() if args.smoke
+            else ExperimentConfig.paper_scale())
+    import dataclasses
+    cfg = dataclasses.replace(base, seed=args.seed)
+    pipe = Pipeline(cfg)
+
+    names = sorted(registry) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        print(f"=== {name} ===")
+        registry[name](cfg, pipeline=pipe)
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Figure 1: outcome quadrants of PGD vs DIVA on ResNet (quantized).
+
+Paper's claim: PGD applied to the quantized model transfers — a large
+fraction of its adversarial images flip *both* models ("both incorrect"),
+so validation on the original model catches them.  DIVA concentrates its
+mass in "original correct & quantized incorrect", the undetectable
+quadrant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..attacks import DIVA, PGD
+from ..metrics import evaluate_attack
+from .config import ExperimentConfig
+from .pipeline import Pipeline
+from .tables import format_table, save_results
+
+
+def run(cfg: Optional[ExperimentConfig] = None,
+        pipeline: Optional[Pipeline] = None, arch: str = "resnet",
+        verbose: bool = True) -> Dict:
+    cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
+    pipe = pipeline if pipeline is not None else Pipeline(cfg)
+    orig = pipe.original(arch)
+    quant = pipe.quantized(arch)
+    atk_set = pipe.attack_set([orig, quant], f"fig1-{arch}")
+
+    x_pgd = PGD(quant, eps=cfg.eps, alpha=cfg.alpha,
+                steps=cfg.steps).generate(atk_set.x, atk_set.y)
+    x_diva = DIVA(orig, quant, c=cfg.c, eps=cfg.eps, alpha=cfg.alpha,
+                  steps=cfg.steps).generate(atk_set.x, atk_set.y)
+
+    rep_pgd = evaluate_attack(orig, quant, x_pgd, atk_set.y, topk=cfg.topk)
+    rep_diva = evaluate_attack(orig, quant, x_diva, atk_set.y, topk=cfg.topk)
+
+    results: Dict = {"arch": arch, "n": rep_pgd.n, "quadrants": {}}
+    rows = []
+    for name, rep in [("PGD", rep_pgd), ("DIVA", rep_diva)]:
+        results["quadrants"][name] = {
+            "both_correct": rep.quadrant_both_correct,
+            "orig_correct_quant_incorrect":
+                rep.quadrant_orig_correct_adapted_incorrect,
+            "both_incorrect": rep.quadrant_both_incorrect,
+            "orig_incorrect_quant_correct":
+                rep.quadrant_orig_incorrect_adapted_correct,
+        }
+        rows.append([name, f"{rep.quadrant_both_correct:.1%}",
+                     f"{rep.quadrant_orig_correct_adapted_incorrect:.1%}",
+                     f"{rep.quadrant_both_incorrect:.1%}",
+                     f"{rep.quadrant_orig_incorrect_adapted_correct:.1%}"])
+    table = format_table(
+        ["Attack", "Both correct", "Orig OK / Quant X (evasive)",
+         "Both incorrect", "Orig X / Quant OK"],
+        rows, title=f"Figure 1 — outcome quadrants on {arch} (quantized)")
+    results["table"] = table
+    if verbose:
+        print(table)
+    save_results("fig1", results)
+    return results

@@ -1,0 +1,133 @@
+"""Figure 6: the quantization headline results.
+
+- 6a: top-1 evasive success — PGD vs blackbox / semi-blackbox / whitebox
+  DIVA across the three architectures (paper: whitebox 92.3-97%,
+  semi-blackbox 71.1-96.2%, blackbox 30.3-77.2%, PGD 30.2-50.9%);
+- 6b: top-k success for the same grid (2.6-4.2x PGD for whitebox);
+- 6c: confidence delta — natural images vs PGD vs DIVA (paper: ~7.9%
+  natural, 18.6-25% PGD, 56.6-72.4% DIVA);
+- 6d: top-1 success vs number of attack steps, DIVA vs PGD on ResNet
+  (paper: PGD plateaus ~40.8% by step 7, DIVA reaches 96.9% by step 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..attacks import DIVA, PGD, AttackTrace
+from ..metrics import evaluate_attack, natural_confidence_delta
+from .config import ARCHITECTURES, ExperimentConfig
+from .pipeline import Pipeline
+from .tables import format_table, save_results
+
+
+def run(cfg: Optional[ExperimentConfig] = None,
+        pipeline: Optional[Pipeline] = None, verbose: bool = True) -> Dict:
+    cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
+    pipe = pipeline if pipeline is not None else Pipeline(cfg)
+
+    results: Dict = {"per_arch": {}}
+    rows = []
+    for arch in ARCHITECTURES:
+        orig = pipe.original(arch)
+        quant = pipe.quantized(arch)
+        surr_orig = pipe.surrogate_original(arch)
+        bb_orig = pipe.blackbox_surrogate_original(arch)
+        bb_adapted = pipe.surrogate_adapted(arch)
+        atk_set = pipe.attack_set([orig, quant], f"fig6-{arch}")
+
+        kw = dict(eps=cfg.eps, alpha=cfg.alpha, steps=cfg.steps)
+        attacks = {
+            "pgd": PGD(quant, **kw),
+            "diva": DIVA(orig, quant, c=cfg.c, **kw),
+            "semi_blackbox_diva": DIVA(surr_orig, quant, c=cfg.c, **kw),
+            "blackbox_diva": DIVA(bb_orig, bb_adapted, c=cfg.c, **kw),
+        }
+        arch_res: Dict = {
+            "natural_confidence_delta":
+                natural_confidence_delta(orig, quant, atk_set.x, atk_set.y),
+        }
+        for name, attack in attacks.items():
+            x_adv = attack.generate(atk_set.x, atk_set.y)
+            rep = evaluate_attack(orig, quant, x_adv, atk_set.y, topk=cfg.topk)
+            arch_res[name] = {
+                "top1_success": rep.top1_success_rate,
+                "topk_success": rep.top5_success_rate,
+                "confidence_delta": rep.confidence_delta,
+                "attack_only_success": rep.attack_only_success_rate,
+            }
+        results["per_arch"][arch] = arch_res
+        rows.append([arch,
+                     f"{arch_res['pgd']['top1_success']:.1%}",
+                     f"{arch_res['blackbox_diva']['top1_success']:.1%}",
+                     f"{arch_res['semi_blackbox_diva']['top1_success']:.1%}",
+                     f"{arch_res['diva']['top1_success']:.1%}"])
+
+    table_a = format_table(
+        ["Architecture", "PGD", "Blackbox DIVA", "Semi-BB DIVA", "DIVA"],
+        rows, title="Figure 6a — top-1 evasive success rate")
+    results["table_6a"] = table_a
+
+    rows_c = []
+    for arch in ARCHITECTURES:
+        r = results["per_arch"][arch]
+        rows_c.append([arch, f"{r['natural_confidence_delta']:.1%}",
+                       f"{r['pgd']['confidence_delta']:.1%}",
+                       f"{r['diva']['confidence_delta']:.1%}"])
+    table_c = format_table(
+        ["Architecture", "Natural image", "PGD", "DIVA"],
+        rows_c, title="Figure 6c — confidence delta (p_orig[y] - p_quant[y])")
+    results["table_6c"] = table_c
+
+    if verbose:
+        print(table_a)
+        rows_b = []
+        for arch in ARCHITECTURES:
+            r = results["per_arch"][arch]
+            rows_b.append([arch, f"{r['pgd']['topk_success']:.1%}",
+                           f"{r['blackbox_diva']['topk_success']:.1%}",
+                           f"{r['semi_blackbox_diva']['topk_success']:.1%}",
+                           f"{r['diva']['topk_success']:.1%}"])
+        print(format_table(
+            ["Architecture", "PGD", "Blackbox DIVA", "Semi-BB DIVA", "DIVA"],
+            rows_b, title=f"Figure 6b — top-{cfg.topk} evasive success rate"))
+        print(table_c)
+    save_results("fig6", results)
+    return results
+
+
+def run_steps(cfg: Optional[ExperimentConfig] = None,
+              pipeline: Optional[Pipeline] = None, arch: str = "resnet",
+              verbose: bool = True) -> Dict:
+    """Figure 6d: top-1 evasive success at every step count 1..t."""
+    cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
+    pipe = pipeline if pipeline is not None else Pipeline(cfg)
+    orig = pipe.original(arch)
+    quant = pipe.quantized(arch)
+    atk_set = pipe.attack_set([orig, quant], f"fig6d-{arch}")
+
+    curves: Dict[str, List[float]] = {}
+    for name, attack in [
+        ("pgd", PGD(quant, eps=cfg.eps, alpha=cfg.alpha, steps=cfg.steps)),
+        ("diva", DIVA(orig, quant, c=cfg.c, eps=cfg.eps, alpha=cfg.alpha,
+                      steps=cfg.steps)),
+    ]:
+        trace = AttackTrace()
+        attack.generate(atk_set.x, atk_set.y, trace=trace)
+        curve = []
+        for snap in trace.snapshots:
+            rep = evaluate_attack(orig, quant, snap, atk_set.y, topk=cfg.topk)
+            curve.append(rep.top1_success_rate)
+        curves[name] = curve
+
+    results = {"arch": arch, "steps": list(range(1, cfg.steps + 1)),
+               "curves": curves}
+    if verbose:
+        rows = [[t + 1, f"{curves['pgd'][t]:.1%}", f"{curves['diva'][t]:.1%}"]
+                for t in range(cfg.steps)]
+        print(format_table(["Step", "PGD", "DIVA"], rows,
+                           title=f"Figure 6d — top-1 success vs steps ({arch})"))
+    save_results("fig6d", results)
+    return results

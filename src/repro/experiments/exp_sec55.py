@@ -1,0 +1,71 @@
+"""§5.5: robust training as a defense.
+
+Paper: with a PGD-minimax robust-trained ResNet50 as the original and a
+quantized derivative as the adapted model, both attacks' evasive success
+collapses (PGD 10.5%; DIVA 12.8% at c=5); DIVA retains an edge, and at
+c=1.5 trades 4% attack-only success for +10.1% evasive success over PGD.
+Robust accuracy of the quantized model under each attack is also
+reported (paper: 22.63% PGD, 21.77% DIVA).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..attacks import DIVA, PGD
+from ..metrics import evaluate_attack
+from ..training import predict_labels
+from .config import ExperimentConfig
+from .pipeline import Pipeline
+from .tables import format_table, save_results
+
+DEFAULT_C_VALUES = (1.0, 1.5, 5.0)
+
+
+def run(cfg: Optional[ExperimentConfig] = None,
+        pipeline: Optional[Pipeline] = None, arch: str = "resnet",
+        c_values: Sequence[float] = DEFAULT_C_VALUES,
+        verbose: bool = True) -> Dict:
+    cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
+    pipe = pipeline if pipeline is not None else Pipeline(cfg)
+    orig = pipe.robust_original(arch)
+    quant = pipe.robust_quantized(arch)
+    atk_set = pipe.attack_set([orig, quant], f"sec55-{arch}")
+    # one budget throughout §5.5: the models were hardened at robust_eps,
+    # and the attacks run at the same bound (as in the paper)
+    kw = dict(eps=cfg.robust_eps, alpha=cfg.robust_eps / 8, steps=cfg.steps)
+
+    results: Dict = {"arch": arch, "attacks": {}}
+    rows = []
+
+    x_pgd = PGD(quant, **kw).generate(atk_set.x, atk_set.y)
+    rp = evaluate_attack(orig, quant, x_pgd, atk_set.y, topk=cfg.topk)
+    robust_acc_pgd = float((predict_labels(quant, x_pgd) == atk_set.y).mean())
+    results["attacks"]["pgd"] = {
+        "top1_success": rp.top1_success_rate,
+        "attack_only_success": rp.attack_only_success_rate,
+        "robust_accuracy": robust_acc_pgd,
+    }
+    rows.append(["PGD", "-", f"{rp.top1_success_rate:.1%}",
+                 f"{rp.attack_only_success_rate:.1%}", f"{robust_acc_pgd:.1%}"])
+
+    for c in c_values:
+        x_diva = DIVA(orig, quant, c=c, **kw).generate(atk_set.x, atk_set.y)
+        rd = evaluate_attack(orig, quant, x_diva, atk_set.y, topk=cfg.topk)
+        robust_acc = float((predict_labels(quant, x_diva) == atk_set.y).mean())
+        results["attacks"][f"diva_c{c}"] = {
+            "top1_success": rd.top1_success_rate,
+            "attack_only_success": rd.attack_only_success_rate,
+            "robust_accuracy": robust_acc,
+        }
+        rows.append([f"DIVA", f"{c}", f"{rd.top1_success_rate:.1%}",
+                     f"{rd.attack_only_success_rate:.1%}", f"{robust_acc:.1%}"])
+
+    table = format_table(
+        ["Attack", "c", "Top-1 evasive", "Attack-only", "Robust acc (quant)"],
+        rows, title=f"§5.5 — attacks on robust-trained {arch} + quantization")
+    results["table"] = table
+    if verbose:
+        print(table)
+    save_results("sec55", results)
+    return results

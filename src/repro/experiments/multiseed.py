@@ -1,0 +1,79 @@
+"""Multi-seed statistical runs.
+
+The paper reports single-run numbers on fixed splits; at this
+reproduction's (small) scale, run-to-run variance is non-trivial, so the
+harness can repeat any experiment across seeds and report mean and
+standard deviation for every scalar metric in the result payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .config import ExperimentConfig
+from .pipeline import Pipeline
+from .tables import format_table, save_results
+
+
+def _flatten(prefix: str, payload, out: Dict[str, float]) -> None:
+    """Collect scalar leaves of a nested results dict as dotted keys."""
+    if isinstance(payload, dict):
+        for k, v in payload.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        out[prefix] = float(payload)
+
+
+@dataclasses.dataclass
+class SeedSweepResult:
+    """Aggregated metrics across seeds."""
+
+    seeds: List[int]
+    mean: Dict[str, float]
+    std: Dict[str, float]
+    per_seed: List[Dict[str, float]]
+
+    def table(self, keys: Optional[Sequence[str]] = None,
+              title: str = "multi-seed sweep") -> str:
+        keys = list(keys) if keys is not None else sorted(self.mean)
+        rows = [[k, f"{self.mean[k]:.3f}", f"{self.std[k]:.3f}"]
+                for k in keys if k in self.mean]
+        return format_table(["metric", "mean", "std"], rows, title=title)
+
+
+def run_across_seeds(experiment: Callable[..., Dict],
+                     base_cfg: Optional[ExperimentConfig] = None,
+                     seeds: Sequence[int] = (0, 1, 2),
+                     store=None, name: Optional[str] = None,
+                     **experiment_kwargs) -> SeedSweepResult:
+    """Run ``experiment(cfg, pipeline=...)`` once per seed and aggregate.
+
+    Each seed gets its own config (hence its own cached model grid), so
+    the sweep measures genuine training + data variance, not attack
+    stochasticity alone.
+    """
+    base_cfg = base_cfg if base_cfg is not None else \
+        ExperimentConfig.paper_scale()
+    per_seed: List[Dict[str, float]] = []
+    for seed in seeds:
+        cfg = dataclasses.replace(base_cfg, seed=int(seed))
+        pipe = Pipeline(cfg, store=store) if store is not None else Pipeline(cfg)
+        payload = experiment(cfg, pipeline=pipe, verbose=False,
+                             **experiment_kwargs)
+        flat: Dict[str, float] = {}
+        _flatten("", {k: v for k, v in payload.items() if k != "table"}, flat)
+        per_seed.append(flat)
+
+    keys = set(per_seed[0])
+    for f in per_seed[1:]:
+        keys &= set(f)
+    mean = {k: float(np.mean([f[k] for f in per_seed])) for k in keys}
+    std = {k: float(np.std([f[k] for f in per_seed])) for k in keys}
+    result = SeedSweepResult(list(seeds), mean, std, per_seed)
+    if name:
+        save_results(f"multiseed_{name}", {
+            "seeds": list(seeds), "mean": mean, "std": std})
+    return result

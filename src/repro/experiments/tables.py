@@ -1,0 +1,68 @@
+"""Result formatting and persistence for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+def _results_dir() -> str:
+    """Resolved at call time so REPRO_RESULTS can be set per run/test."""
+    return os.environ.get(
+        "REPRO_RESULTS",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results"))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table (floats rendered to 3 decimals)."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: Sequence[Dict[str, Any]], title: str) -> str:
+    """Render [{'metric':..., 'paper':..., 'measured':...}] comparisons."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [[r["metric"], r["paper"], r["measured"]] for r in rows],
+        title=title)
+
+
+def save_results(name: str, payload: Dict[str, Any],
+                 results_dir: Optional[str] = None) -> str:
+    """Persist an experiment's results dict as JSON; returns the path."""
+    out_dir = results_dir if results_dir is not None else _results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=_jsonable)
+    return path
+
+
+def _jsonable(obj: Any):
+    import numpy as np
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if hasattr(obj, "__dict__"):
+        return vars(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj)}")

@@ -1,0 +1,14 @@
+"""``repro.metrics`` — the paper's evaluation metrics (§5.1)."""
+
+from .image_quality import batch_dssim, dssim, psnr, ssim
+from .instability import (InstabilityReport, instability_report,
+                          prediction_agreement)
+from .success import (SuccessReport, evaluate_attack,
+                      natural_confidence_delta, targeted_reach)
+
+__all__ = [
+    "InstabilityReport", "instability_report", "prediction_agreement",
+    "SuccessReport", "evaluate_attack", "natural_confidence_delta",
+    "targeted_reach",
+    "ssim", "dssim", "batch_dssim", "psnr",
+]

@@ -1,0 +1,69 @@
+"""Instability between two model versions (Cidon et al. 2021; Table 1).
+
+Instability is the fraction of inputs on which two models disagree —
+the quantity the paper shows is several times larger than what the
+top-line accuracy gap suggests, and the raw material DIVA exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.module import Module
+from ..training.evaluate import predict_labels
+
+
+@dataclass
+class InstabilityReport:
+    """Table 1 row for one architecture."""
+
+    original_accuracy: float
+    adapted_accuracy: float
+    orig_correct_adapted_incorrect: int
+    orig_incorrect_adapted_correct: int
+    disagree_both_incorrect: int
+    total: int
+
+    @property
+    def instability(self) -> float:
+        """Total fraction of samples where the two models disagree."""
+        dis = (self.orig_correct_adapted_incorrect
+               + self.orig_incorrect_adapted_correct
+               + self.disagree_both_incorrect)
+        return dis / self.total
+
+    @property
+    def deviation_instability(self) -> float:
+        """Paper's Table-1 instability: deviations where exactly one
+        model is correct, as a fraction of all samples."""
+        dev = (self.orig_correct_adapted_incorrect
+               + self.orig_incorrect_adapted_correct)
+        return dev / self.total
+
+
+def instability_report(original: Module, adapted: Module, x: np.ndarray,
+                       y: np.ndarray, batch_size: int = 128) -> InstabilityReport:
+    """Compute the Table 1 comparison on a labeled evaluation set."""
+    y = np.asarray(y)
+    po = predict_labels(original, x, batch_size)
+    pa = predict_labels(adapted, x, batch_size)
+    o_ok = po == y
+    a_ok = pa == y
+    return InstabilityReport(
+        original_accuracy=float(o_ok.mean()),
+        adapted_accuracy=float(a_ok.mean()),
+        orig_correct_adapted_incorrect=int((o_ok & ~a_ok).sum()),
+        orig_incorrect_adapted_correct=int((~o_ok & a_ok).sum()),
+        disagree_both_incorrect=int((~o_ok & ~a_ok & (po != pa)).sum()),
+        total=len(y),
+    )
+
+
+def prediction_agreement(model_a: Module, model_b: Module, x: np.ndarray,
+                         batch_size: int = 128) -> float:
+    """Label-agreement rate on unlabeled inputs."""
+    pa = predict_labels(model_a, x, batch_size)
+    pb = predict_labels(model_b, x, batch_size)
+    return float((pa == pb).mean())

@@ -1,0 +1,111 @@
+"""DenseNet (Huang et al.) scaled for small-image experiments.
+
+Dense connectivity (feature concatenation) + transition downsampling —
+the third architecture family in the paper's evaluation (DenseNet121).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool2d,
+                         Linear, ReLU)
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor, concat
+
+
+class DenseLayer(Module):
+    """BN-ReLU-Conv3x3 producing ``growth`` new channels."""
+
+    def __init__(self, in_ch: int, growth: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = BatchNorm2d(in_ch)
+        self.relu = ReLU()
+        self.conv = Conv2d(in_ch, growth, 3, padding=1, rng=rng, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(self.relu(self.bn(x)))
+
+
+class DenseBlock(Module):
+    """``n_layers`` DenseLayers, each consuming the concat of all priors."""
+
+    def __init__(self, in_ch: int, growth: int, n_layers: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        layers = []
+        ch = in_ch
+        for _ in range(n_layers):
+            layers.append(DenseLayer(ch, growth, rng))
+            ch += growth
+        self.layers = ModuleList(layers)
+        self.out_channels = ch
+
+    def forward(self, x: Tensor) -> Tensor:
+        feats = x
+        for layer in self.layers:
+            new = layer(feats)
+            feats = concat([feats, new], axis=1)
+        return feats
+
+
+class Transition(Module):
+    """1x1 conv (channel compression) + 2x2 average pooling."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = BatchNorm2d(in_ch)
+        self.relu = ReLU()
+        self.conv = Conv2d(in_ch, out_ch, 1, rng=rng, bias=False)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.relu(self.bn(x))))
+
+
+class DenseNet(Module):
+    """Small-image DenseNet: stem, dense blocks with transitions, GAP head."""
+
+    def __init__(self, num_classes: int = 10, growth: int = 4,
+                 block_layers: Optional[List[int]] = None, width: int = 8,
+                 compression: float = 0.5, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        block_layers = block_layers if block_layers is not None else [2, 2]
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.growth = growth
+        self.stem = Conv2d(in_channels, width, 3, padding=1, rng=rng, bias=False)
+        blocks = []
+        transitions = []
+        ch = width
+        for i, n_layers in enumerate(block_layers):
+            block = DenseBlock(ch, growth, n_layers, rng)
+            blocks.append(block)
+            ch = block.out_channels
+            if i != len(block_layers) - 1:
+                out_ch = max(1, int(ch * compression))
+                transitions.append(Transition(ch, out_ch, rng))
+                ch = out_ch
+        self.blocks = ModuleList(blocks)
+        self.transitions = ModuleList(transitions)
+        self.final_bn = BatchNorm2d(ch)
+        self.final_relu = ReLU()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(ch, num_classes, rng=rng)
+        self.feature_dim = ch
+
+    def features(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        n_blocks = len(self.blocks)
+        for i in range(n_blocks):
+            out = self.blocks[i](out)
+            if i < len(self.transitions):
+                out = self.transitions[i](out)
+        out = self.final_relu(self.final_bn(out))
+        return self.pool(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))

@@ -1,0 +1,60 @@
+"""LeNet-style convnet for the digit experiments (Fig 4 PCA study).
+
+The paper uses ResNet50 on MNIST for the representation analysis; at this
+reproduction's scale a LeNet gives the same qualitative picture (clean
+per-digit clusters in the penultimate space) at a fraction of the cost,
+and a digit-ResNet is also available through the registry for parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class LeNet(Module):
+    """conv5-pool-conv5-pool-fc120-fc84-fc{classes}, ReLU activations.
+
+    Bias-carrying convs and no batch norm keep this model compilable by
+    the integer edge engine (:mod:`repro.edge`).
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1,
+                 image_size: int = 28, width: int = 6, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.conv1 = Conv2d(in_channels, width, 5, padding=2, rng=rng)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(width, width * 3, 5, padding=0, rng=rng)
+        self.relu2 = ReLU()
+        self.pool2 = MaxPool2d(2)
+        self.flat = Flatten()
+        side = ((image_size // 2) - 4) // 2
+        flat_dim = width * 3 * side * side
+        self.fc1 = Linear(flat_dim, 60, rng=rng)
+        self.relu3 = ReLU()
+        self.fc2 = Linear(60, 42, rng=rng)
+        self.relu4 = ReLU()
+        self.fc3 = Linear(42, num_classes, rng=rng)
+        self.feature_dim = 42
+
+    def features(self, x: Tensor) -> Tensor:
+        out = self.pool1(self.relu1(self.conv1(x)))
+        out = self.pool2(self.relu2(self.conv2(out)))
+        out = self.relu3(self.fc1(self.flat(out)))
+        return self.relu4(self.fc2(out))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc3(self.features(x))
+
+    def edge_layers(self):
+        """Ordered layer sequence for edge compilation (feed-forward)."""
+        return [self.conv1, self.relu1, self.pool1,
+                self.conv2, self.relu2, self.pool2,
+                self.flat, self.fc1, self.relu3, self.fc2, self.relu4,
+                self.fc3]

@@ -1,0 +1,77 @@
+"""MobileNet (Howard et al.) scaled for small-image experiments.
+
+Depthwise-separable convolutions — the architecture family the paper's
+MobileNet results cover.  Notably the paper finds this small,
+under-parameterized network transfers attacks worst (§5.2), a behaviour
+our scaled version also exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU)
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+
+
+class DepthwiseSeparable(Module):
+    """3x3 depthwise conv + 1x1 pointwise conv, BN+ReLU after each."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.dw = Conv2d(in_ch, in_ch, 3, stride=stride, padding=1,
+                         groups=in_ch, rng=rng, bias=False)
+        self.dw_bn = BatchNorm2d(in_ch)
+        self.dw_relu = ReLU()
+        self.pw = Conv2d(in_ch, out_ch, 1, rng=rng, bias=False)
+        self.pw_bn = BatchNorm2d(out_ch)
+        self.pw_relu = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.dw_relu(self.dw_bn(self.dw(x)))
+        return self.pw_relu(self.pw_bn(self.pw(x)))
+
+
+class MobileNet(Module):
+    """Small-image MobileNet-v1-style network.
+
+    ``config`` is a list of (out_channels_multiplier, stride) applied to
+    ``width``; the default gives three resolution stages like the ResNet
+    counterpart so the two are comparable.
+    """
+
+    def __init__(self, num_classes: int = 10, width: int = 8,
+                 config: Optional[List[Tuple[int, int]]] = None,
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        config = config if config is not None else [(1, 1), (2, 2), (2, 1), (4, 2)]
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.width = width
+        self.stem = Conv2d(in_channels, width, 3, stride=1, padding=1,
+                           rng=rng, bias=False)
+        self.stem_bn = BatchNorm2d(width)
+        self.stem_relu = ReLU()
+        blocks = []
+        in_ch = width
+        for mult, stride in config:
+            out_ch = width * mult
+            blocks.append(DepthwiseSeparable(in_ch, out_ch, stride, rng))
+            in_ch = out_ch
+        self.blocks = ModuleList(blocks)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+        self.feature_dim = in_ch
+
+    def features(self, x: Tensor) -> Tensor:
+        out = self.stem_relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        return self.pool(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))

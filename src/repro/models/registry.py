@@ -1,0 +1,51 @@
+"""Model registry: build any evaluated architecture by name.
+
+The paper's experiment grid is (architecture x adaptation x attack); a
+string-keyed registry lets the experiment harness sweep architectures the
+same way the paper's scripts sweep TF Keras applications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..nn.module import Module
+from .densenet import DenseNet
+from .lenet import LeNet
+from .mobilenet import MobileNet
+from .resnet import ResNet
+from .vggface import VGGFaceNet
+
+_BUILDERS: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, builder: Callable[..., Module]) -> None:
+    """Register a model builder under ``name`` (lowercased)."""
+    key = name.lower()
+    if key in _BUILDERS:
+        raise ValueError(f"model {name!r} already registered")
+    _BUILDERS[key] = builder
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered architecture.
+
+    Examples
+    --------
+    >>> m = build_model("resnet", num_classes=10, width=8, seed=0)
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _BUILDERS[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+register_model("resnet", ResNet)
+register_model("mobilenet", MobileNet)
+register_model("densenet", DenseNet)
+register_model("lenet", LeNet)
+register_model("vggface", VGGFaceNet)

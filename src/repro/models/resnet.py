@@ -1,0 +1,100 @@
+"""ResNet (He et al.) scaled for small-image experiments.
+
+Stands in for the paper's ResNet50: same family (residual basic blocks,
+BN, stage-wise downsampling, global average pooling), with width/depth
+scaled to the CPU budget of this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity,
+                         Linear, ReLU)
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with a residual connection; 1x1 projection shortcut
+    when shape changes."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                            rng=rng, bias=False)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1,
+                            rng=rng, bias=False)
+        self.bn2 = BatchNorm2d(out_ch)
+        self.relu2 = ReLU()
+        if stride != 1 or in_ch != out_ch:
+            self.short_conv = Conv2d(in_ch, out_ch, 1, stride=stride,
+                                     rng=rng, bias=False)
+            self.short_bn = BatchNorm2d(out_ch)
+        else:
+            self.short_conv = None
+            self.short_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.short_conv is not None:
+            shortcut = self.short_bn(self.short_conv(x))
+        else:
+            shortcut = x
+        return self.relu2(out + shortcut)
+
+
+class ResNet(Module):
+    """Small-image ResNet: stem conv, three stages, GAP, linear head.
+
+    Parameters
+    ----------
+    num_classes: output classes.
+    width: channels of the first stage (doubles per stage).
+    blocks: number of BasicBlocks per stage.
+    in_channels: input channels (3 for RGB).
+    seed: weight-init seed (models are fully deterministic per seed).
+    """
+
+    def __init__(self, num_classes: int = 10, width: int = 8,
+                 blocks: Optional[List[int]] = None, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        blocks = blocks if blocks is not None else [1, 1, 1]
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.width = width
+        self.blocks_cfg = list(blocks)
+        self.stem = Conv2d(in_channels, width, 3, stride=1, padding=1,
+                           rng=rng, bias=False)
+        self.stem_bn = BatchNorm2d(width)
+        self.stem_relu = ReLU()
+        stages = []
+        in_ch = width
+        for stage_idx, n_blocks in enumerate(blocks):
+            out_ch = width * (2 ** stage_idx)
+            for b in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and b == 0) else 1
+                stages.append(BasicBlock(in_ch, out_ch, stride, rng))
+                in_ch = out_ch
+        self.stages = ModuleList(stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+        self.feature_dim = in_ch
+
+    def features(self, x: Tensor) -> Tensor:
+        """Penultimate representation (post-GAP), used for PCA analysis."""
+        out = self.stem_relu(self.stem_bn(self.stem(x)))
+        for block in self.stages:
+            out = block(out)
+        return self.pool(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))

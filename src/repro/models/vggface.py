@@ -1,0 +1,72 @@
+"""Face-recognition network for the §6 case study.
+
+The paper finetunes VGGFace (ResNet50 trunk) on PubFig and deploys a
+TFLite int8 build on an ARM device.  Our substitute keeps the pipeline:
+a VGG-style convolutional trunk producing an identity embedding, a
+classifier head over the identity set, and — because the trunk is a plain
+feed-forward stack with biased convs and no batch norm — full
+compilability to the integer edge engine (:mod:`repro.edge`), our stand-in
+for the TFLite runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class VGGFaceNet(Module):
+    """VGG-style face embedder + identity classifier.
+
+    Parameters
+    ----------
+    num_identities: size of the identity label set (PubFig: 150).
+    image_size: square input side (must be divisible by 8).
+    width: trunk base width.
+    embed_dim: identity embedding dimension (the ``features`` output).
+    """
+
+    def __init__(self, num_identities: int = 150, image_size: int = 32,
+                 width: int = 8, embed_dim: int = 32, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        if image_size % 8:
+            raise ValueError("image_size must be divisible by 8")
+        rng = np.random.default_rng(seed)
+        self.num_identities = num_identities
+        self.embed_dim = embed_dim
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(width, width * 2, 3, padding=1, rng=rng)
+        self.relu2 = ReLU()
+        self.pool2 = MaxPool2d(2)
+        self.conv3 = Conv2d(width * 2, width * 4, 3, padding=1, rng=rng)
+        self.relu3 = ReLU()
+        self.pool3 = MaxPool2d(2)
+        self.flat = Flatten()
+        side = image_size // 8
+        self.fc_embed = Linear(width * 4 * side * side, embed_dim, rng=rng)
+        self.relu4 = ReLU()
+        self.fc_id = Linear(embed_dim, num_identities, rng=rng)
+        self.feature_dim = embed_dim
+
+    def features(self, x: Tensor) -> Tensor:
+        """Identity embedding (penultimate representation)."""
+        out = self.pool1(self.relu1(self.conv1(x)))
+        out = self.pool2(self.relu2(self.conv2(out)))
+        out = self.pool3(self.relu3(self.conv3(out)))
+        return self.relu4(self.fc_embed(self.flat(out)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc_id(self.features(x))
+
+    def edge_layers(self):
+        """Ordered layer sequence for edge compilation (feed-forward)."""
+        return [self.conv1, self.relu1, self.pool1,
+                self.conv2, self.relu2, self.pool2,
+                self.conv3, self.relu3, self.pool3,
+                self.flat, self.fc_embed, self.relu4, self.fc_id]

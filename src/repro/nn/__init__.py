@@ -1,0 +1,37 @@
+"""``repro.nn`` — a compact reverse-mode autodiff deep-learning framework.
+
+Built from scratch on vectorized numpy because the evaluation environment
+ships no deep-learning framework; every other subsystem (models, QAT,
+pruning, the attack family) composes these primitives.
+"""
+
+from . import functional, losses
+from .activations import (ELU, GELU, HardSwish, LeakyReLU, Swish, elu, gelu,
+                          hard_sigmoid, hard_swish, leaky_relu, softplus,
+                          swish)
+from .init import kaiming_normal, kaiming_uniform, xavier_uniform
+from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
+                     Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
+                     ReLU)
+from .module import Module, ModuleList, Parameter, Sequential
+from .norm import GroupNorm, InstanceNorm2d, LayerNorm
+from .optim import Adam, CosineLR, LRScheduler, SGD, StepLR
+from .serialization import load_state, save_state
+from .tensor import (Tensor, concat, get_default_dtype, set_default_dtype,
+                     stack, where)
+
+__all__ = [
+    "Tensor", "concat", "stack", "where",
+    "set_default_dtype", "get_default_dtype",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "Linear", "Conv2d", "BatchNorm1d", "BatchNorm2d", "ReLU", "Flatten",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Dropout", "Identity",
+    "LayerNorm", "GroupNorm", "InstanceNorm2d",
+    "LeakyReLU", "ELU", "GELU", "Swish", "HardSwish",
+    "leaky_relu", "elu", "gelu", "swish", "softplus", "hard_sigmoid",
+    "hard_swish",
+    "SGD", "Adam", "LRScheduler", "StepLR", "CosineLR",
+    "save_state", "load_state",
+    "kaiming_normal", "kaiming_uniform", "xavier_uniform",
+    "functional", "losses",
+]

@@ -1,0 +1,90 @@
+"""Additional activation functions and their layer wrappers.
+
+ReLU lives on the Tensor itself (hot path); the rest live here.  All are
+implemented as compositions of differentiable primitives, so no bespoke
+backward code is needed (and gradient checks come for free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor, where
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """max(x, slope * x) for 0 < slope < 1."""
+    return x.maximum(x * negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """x for x > 0; alpha * (exp(x) - 1) otherwise."""
+    neg = (x.minimum(0.0).exp() - 1.0) * alpha
+    return where(x.data > 0, x, neg)
+
+
+def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
+    """log(1 + exp(beta x)) / beta, numerically stabilized."""
+    bx = x * beta
+    # softplus(t) = max(t, 0) + log1p(exp(-|t|))
+    stable = bx.maximum(0.0) + (-(bx.abs())).exp().__add__(1.0).log()
+    return stable * (1.0 / beta)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def swish(x: Tensor) -> Tensor:
+    """x * sigmoid(x) (SiLU)."""
+    return x * x.sigmoid()
+
+
+def hard_sigmoid(x: Tensor) -> Tensor:
+    """Piecewise-linear sigmoid: clip(x/6 + 0.5, 0, 1) — the MobileNetV3
+    edge-friendly variant (no transcendental ops)."""
+    return (x * (1.0 / 6.0) + 0.5).clip(0.0, 1.0)
+
+
+def hard_swish(x: Tensor) -> Tensor:
+    """x * hard_sigmoid(x)."""
+    return x * hard_sigmoid(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+    def __repr__(self):
+        return f"LeakyReLU({self.negative_slope})"
+
+
+class ELU(Module):
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return elu(x, self.alpha)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return gelu(x)
+
+
+class Swish(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return swish(x)
+
+
+class HardSwish(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return hard_swish(x)

@@ -1,0 +1,293 @@
+"""Stateless differentiable operations: convolution, pooling, losses.
+
+Convolution uses im2col (stride-tricks window extraction + one matmul),
+which is the standard way to keep numpy convs fast; the col2im backward is
+a small loop over kernel taps only (kh*kw iterations), never over pixels.
+All tensors follow the NCHW layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(v: IntPair) -> Tuple[int, int]:
+    return (v, v) if isinstance(v, int) else (int(v[0]), int(v[1]))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling along one axis."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
+            ph: int, pw: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract sliding windows from NCHW ``x``.
+
+    Returns ``cols`` of shape (N, C, kh, kw, OH, OW) (a view when possible)
+    and the output spatial size.
+    """
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    N, C, H, W = x.shape
+    oh = (H - kh) // sh + 1
+    ow = (W - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    cols = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(N, C, kh, kw, oh, ow),
+        strides=(s0, s1, s2, s3, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+    return cols, (oh, ow)
+
+
+def _col2im(dcols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
+            sh: int, sw: int, ph: int, pw: int) -> np.ndarray:
+    """Scatter-add window gradients back to input layout (inverse of im2col)."""
+    N, C, H, W = x_shape
+    Hp, Wp = H + 2 * ph, W + 2 * pw
+    oh = (Hp - kh) // sh + 1
+    ow = (Wp - kw) // sw + 1
+    dx = np.zeros((N, C, Hp, Wp), dtype=dcols.dtype)
+    for i in range(kh):
+        i_max = i + sh * oh
+        for j in range(kw):
+            j_max = j + sw * ow
+            dx[:, :, i:i_max:sh, j:j_max:sw] += dcols[:, :, i, j]
+    if ph or pw:
+        dx = dx[:, :, ph:Hp - ph if ph else Hp, pw:Wp - pw if pw else Wp]
+    return dx
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: IntPair = 1, padding: IntPair = 0, groups: int = 1) -> Tensor:
+    """2D convolution.
+
+    Parameters
+    ----------
+    x: (N, C_in, H, W)
+    weight: (C_out, C_in // groups, kh, kw)
+    bias: (C_out,) or None
+    groups: 1 for dense conv, C_in for depthwise.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    N, C, H, W = x.shape
+    F, Cg, kh, kw = weight.shape
+    if C % groups or F % groups:
+        raise ValueError(f"channels {C}/{F} not divisible by groups={groups}")
+    if Cg != C // groups:
+        raise ValueError(f"weight expects {Cg} in-channels/group, input has {C // groups}")
+
+    cols, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, ph, pw)
+
+    if groups == 1:
+        # (N, OH, OW, C*kh*kw) @ (C*kh*kw, F)
+        cols2 = np.ascontiguousarray(cols.transpose(0, 4, 5, 1, 2, 3)).reshape(N, oh, ow, C * kh * kw)
+        wmat = weight.data.reshape(F, C * kh * kw).T
+        out_data = cols2 @ wmat                          # (N, OH, OW, F)
+        out_data = out_data.transpose(0, 3, 1, 2)        # (N, F, OH, OW)
+    else:
+        G = groups
+        Fg = F // G
+        # (N, G, Cg, kh, kw, OH, OW) -> (N, G, OH, OW, Cg*kh*kw)
+        colsg = cols.reshape(N, G, Cg, kh, kw, oh, ow)
+        cols2 = np.ascontiguousarray(colsg.transpose(0, 1, 5, 6, 2, 3, 4)).reshape(N, G, oh, ow, Cg * kh * kw)
+        wmat = weight.data.reshape(G, Fg, Cg * kh * kw)  # (G, Fg, K)
+        out_data = np.einsum("ngxyk,gfk->ngfxy", cols2, wmat, optimize=True)
+        out_data = out_data.reshape(N, F, oh, ow)
+
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, F, 1, 1)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    req = any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=req, _parents=parents if req else ())
+    if req:
+        x_shape = x.shape
+
+        def _bw(g, x=x, weight=weight, bias=bias, cols2=cols2):
+            # g: (N, F, OH, OW)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g.sum(axis=(0, 2, 3)))
+            if groups == 1:
+                gm = g.transpose(0, 2, 3, 1)                      # (N,OH,OW,F)
+                if weight.requires_grad:
+                    dw = np.tensordot(gm, cols2, axes=([0, 1, 2], [0, 1, 2]))  # (F, C*kh*kw)
+                    weight._accumulate(dw.reshape(weight.shape))
+                if x.requires_grad:
+                    wmat = weight.data.reshape(F, C * kh * kw)
+                    dcols2 = gm @ wmat                             # (N,OH,OW,C*kh*kw)
+                    dcols = dcols2.reshape(N, oh, ow, C, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+            else:
+                G = groups
+                Fg = F // G
+                gg = g.reshape(N, G, Fg, oh, ow)
+                if weight.requires_grad:
+                    dw = np.einsum("ngfxy,ngxyk->gfk", gg, cols2, optimize=True)
+                    weight._accumulate(dw.reshape(weight.shape))
+                if x.requires_grad:
+                    wmat = weight.data.reshape(G, Fg, Cg * kh * kw)
+                    dcols2 = np.einsum("ngfxy,gfk->ngxyk", gg, wmat, optimize=True)
+                    dcols = dcols2.reshape(N, G, oh, ow, Cg, kh, kw)
+                    dcols = dcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(N, C, kh, kw, oh, ow)
+                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+        out._backward = _bw
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with weight of shape (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """Max pooling over NCHW windows."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    ph, pw = _pair(padding)
+    xd = x.data
+    if ph or pw:
+        xd = np.pad(xd, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                    constant_values=-np.inf)
+    cols, (oh, ow) = _im2col(xd, kh, kw, sh, sw, 0, 0)
+    N, C = x.shape[:2]
+    flat = cols.transpose(0, 1, 4, 5, 2, 3).reshape(N, C, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = Tensor(out_data, requires_grad=x.requires_grad,
+                 _parents=(x,) if x.requires_grad else ())
+    if x.requires_grad:
+        x_shape = x.shape
+
+        def _bw(g, x=x, arg=arg):
+            dflat = np.zeros((N, C, oh, ow, kh * kw), dtype=g.dtype)
+            np.put_along_axis(dflat, arg[..., None], g[..., None], axis=-1)
+            dcols = dflat.reshape(N, C, oh, ow, kh, kw).transpose(0, 1, 4, 5, 2, 3)
+            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+        out._backward = _bw
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """Average pooling over NCHW windows."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    ph, pw = _pair(padding)
+    cols, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, ph, pw)
+    out_data = cols.mean(axis=(2, 3))
+    out = Tensor(out_data, requires_grad=x.requires_grad,
+                 _parents=(x,) if x.requires_grad else ())
+    if x.requires_grad:
+        N, C = x.shape[:2]
+        x_shape = x.shape
+
+        def _bw(g, x=x):
+            dcols = np.broadcast_to(
+                g[:, :, None, None, :, :] / (kh * kw), (N, C, kh, kw, oh, ow)
+            ).astype(g.dtype)
+            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+        out._backward = _bw
+    return out
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    m = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - m
+    lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - lse
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy against integer labels.
+
+    ``labels`` is an int array of shape (N,).
+    """
+    labels = np.asarray(labels)
+    logp = log_softmax(logits, axis=-1)
+    nll = -logp.gather_rows(labels)
+    if reduction == "mean":
+        return nll.mean()
+    if reduction == "sum":
+        return nll.sum()
+    if reduction == "none":
+        return nll
+    raise ValueError(f"unknown reduction: {reduction}")
+
+
+def nll_loss(logp: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given log-probabilities."""
+    nll = -logp.gather_rows(np.asarray(labels))
+    if reduction == "mean":
+        return nll.mean()
+    if reduction == "sum":
+        return nll.sum()
+    return nll
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray],
+             reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    d = pred - target
+    sq = d * d
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def kl_div(logp: Tensor, q: Union[Tensor, np.ndarray],
+           reduction: str = "batchmean") -> Tensor:
+    """KL(q || p) given log-probabilities ``logp`` and target probs ``q``.
+
+    Matches the convention of distillation losses: target distribution ``q``
+    is treated as constant.
+    """
+    q_data = q.data if isinstance(q, Tensor) else np.asarray(q)
+    q_const = Tensor(q_data)
+    eps = 1e-12
+    terms = q_const * (Tensor(np.log(q_data + eps)) - logp)
+    if reduction == "batchmean":
+        return terms.sum() * (1.0 / logp.shape[0])
+    if reduction == "sum":
+        return terms.sum()
+    return terms
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,56 @@
+"""Weight initializers.
+
+Every initializer takes an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed (a requirement for the
+experiment artifact cache).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:           # linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:         # conv: (out, in/groups, kh, kw)
+        rf = shape[2] * shape[3]
+        fan_in = shape[1] * rf
+        fan_out = shape[0] * rf
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He initialization (normal), appropriate for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He initialization (uniform)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot initialization (uniform)."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,251 @@
+"""Standard layers: Linear, Conv2d, BatchNorm2d, activations, pooling.
+
+Layers carry two hooks the adaptation subsystems attach to:
+
+- ``weight_fake_quant``: set by :func:`repro.quantization.qat.prepare_qat`;
+  when present, the effective weight is the fake-quantized weight.
+- ``weight_mask``: set by :mod:`repro.pruning`; when present, the effective
+  weight is elementwise-masked, so pruned weights stay exactly zero through
+  finetuning while gradients still flow to the surviving ones.
+
+Keeping these on the layer (rather than rewriting the graph) is what lets
+one architecture definition serve as original / quantized / pruned /
+pruned+quantized variants, exactly the model families the paper attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class _WeightedLayer(Module):
+    """Shared effective-weight logic for Linear and Conv2d."""
+
+    def __init__(self):
+        super().__init__()
+        self.weight_fake_quant = None          # Optional[FakeQuantize]
+        self.activation_post_process = None    # Optional[FakeQuantize]
+        self._weight_mask: Optional[np.ndarray] = None
+
+    @property
+    def weight_mask(self) -> Optional[np.ndarray]:
+        return self._weight_mask
+
+    def set_weight_mask(self, mask: Optional[np.ndarray]) -> None:
+        if mask is not None:
+            mask = np.asarray(mask, dtype=self.weight.data.dtype)
+            if mask.shape != self.weight.data.shape:
+                raise ValueError(f"mask shape {mask.shape} != weight "
+                                 f"shape {self.weight.data.shape}")
+        self._weight_mask = mask
+
+    def effective_weight(self) -> Tensor:
+        """Weight after pruning mask and fake quantization."""
+        w: Tensor = self.weight
+        if self._weight_mask is not None:
+            w = w * Tensor(self._weight_mask)
+        if self.weight_fake_quant is not None:
+            w = self.weight_fake_quant(w)
+        return w
+
+
+class Linear(_WeightedLayer):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng,
+                                                     gain=1.0))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.linear(x, self.effective_weight(), self.bias)
+        if self.activation_post_process is not None:
+            out = self.activation_post_process(out)
+        return out
+
+    def __repr__(self):
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(_WeightedLayer):
+    """2D convolution over NCHW tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.conv2d(x, self.effective_weight(), self.bias,
+                       stride=self.stride, padding=self.padding,
+                       groups=self.groups)
+        if self.activation_post_process is not None:
+            out = self.activation_post_process(out)
+        return out
+
+    def __repr__(self):
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding}"
+                + (f", groups={self.groups}" if self.groups != 1 else "") + ")")
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) per channel, with running stats."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean + self.momentum * mean)
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var + self.momentum * var)
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mu
+            v = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            inv = (v + self.eps) ** -0.5
+            xhat = centered * inv
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            inv = Tensor(1.0 / np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps))
+            xhat = (x - mu) * inv
+        w = self.weight.reshape(1, self.num_features, 1, 1)
+        b = self.bias.reshape(1, self.num_features, 1, 1)
+        return xhat * w + b
+
+    def __repr__(self):
+        return f"BatchNorm2d({self.num_features})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the batch axis for (N, F) tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean + self.momentum * mean)
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var + self.momentum * var)
+            mu = x.mean(axis=0, keepdims=True)
+            centered = x - mu
+            v = (centered * centered).mean(axis=0, keepdims=True)
+            xhat = centered * ((v + self.eps) ** -0.5)
+        else:
+            xhat = (x - Tensor(self.running_mean)) * Tensor(
+                1.0 / np.sqrt(self.running_var + self.eps))
+        return xhat * self.weight + self.bias
+
+
+class ReLU(Module):
+    def __init__(self):
+        super().__init__()
+        self.activation_post_process = None    # Optional[FakeQuantize]
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.relu()
+        if self.activation_post_process is not None:
+            out = self.activation_post_process(out)
+        return out
+
+    def __repr__(self):
+        return "ReLU()"
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an internal deterministic generator."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

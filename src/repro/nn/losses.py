@@ -1,0 +1,84 @@
+"""Additional loss functions beyond the cross-entropy family in
+``functional``."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def label_smoothing_cross_entropy(logits: Tensor, labels: np.ndarray,
+                                  smoothing: float = 0.1,
+                                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy against smoothed targets.
+
+    Target distribution: ``1 - smoothing`` on the true class, the rest
+    spread uniformly — a common regularizer for the original models the
+    operator trains.
+    """
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+    labels = np.asarray(labels)
+    n, k = logits.shape
+    logp = F.log_softmax(logits, axis=-1)
+    true_term = -logp.gather_rows(labels) * (1.0 - smoothing)
+    uniform_term = -logp.sum(axis=-1) * (smoothing / k)
+    loss = true_term + uniform_term
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     targets: Union[Tensor, np.ndarray],
+                                     reduction: str = "mean") -> Tensor:
+    """Numerically-stable BCE on raw logits.
+
+    Uses ``max(z, 0) - z*t + log(1 + exp(-|z|))``.
+    """
+    t = targets if isinstance(targets, Tensor) else Tensor(np.asarray(targets))
+    stable = logits.maximum(0.0) - logits * t + \
+        ((-(logits.abs())).exp() + 1.0).log()
+    if reduction == "mean":
+        return stable.mean()
+    if reduction == "sum":
+        return stable.sum()
+    return stable
+
+
+def multi_margin_loss(logits: Tensor, labels: np.ndarray,
+                      margin: float = 1.0, reduction: str = "mean") -> Tensor:
+    """Multi-class hinge: mean_j max(0, margin - z_y + z_j), j != y."""
+    labels = np.asarray(labels)
+    n, k = logits.shape
+    true_vals = logits.gather_rows(labels).reshape(n, 1)
+    margins = (logits - true_vals + margin).maximum(0.0)
+    # zero out the true-class term (it contributes exactly `margin`)
+    mask = np.ones((n, k))
+    mask[np.arange(n), labels] = 0.0
+    loss = (margins * Tensor(mask)).sum(axis=-1) * (1.0 / (k - 1))
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def huber_loss(pred: Tensor, target: Union[Tensor, np.ndarray],
+               delta: float = 1.0, reduction: str = "mean") -> Tensor:
+    """Quadratic near zero, linear in the tails."""
+    t = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = (pred - t).abs()
+    quad = diff.minimum(delta)
+    loss = quad * quad * 0.5 + (diff - quad) * delta
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss

@@ -1,0 +1,223 @@
+"""Module system: parameter registration, train/eval mode, state dicts.
+
+Mirrors the familiar torch.nn.Module contract at the scale this project
+needs: attribute assignment auto-registers parameters, buffers and child
+modules; ``state_dict``/``load_state_dict`` flatten the tree with
+dot-separated keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter (requires_grad=True)."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        else:
+            # plain attribute; drop any stale registration under this name
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-learnable state included in ``state_dict``."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of registration."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(sub)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(sub)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), b
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(sub)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # modes
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = np.asarray(b).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {}
+        # buffers need the owning module to rebind the attribute
+        for mod_name, mod in self.named_modules():
+            for bname in list(mod._buffers):
+                key = f"{mod_name}.{bname}" if mod_name else bname
+                own_buffers[key] = (mod, bname)
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffers))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for key, value in state.items():
+            if key in own_params:
+                p = own_params[key]
+                if p.data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {key}: "
+                                     f"{p.data.shape} vs {value.shape}")
+                p.data = value.astype(p.data.dtype).copy()
+            elif key in own_buffers:
+                mod, bname = own_buffers[key]
+                mod.set_buffer(bname, value.copy())
+
+    def copy_structure(self) -> "Module":
+        """Deep-copy this module (new parameters with identical values)."""
+        import copy as _copy
+        clone = _copy.deepcopy(self)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child = ", ".join(self._modules)
+        return f"{type(self).__name__}({child})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *mods: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, m in enumerate(mods):
+            name = f"m{i}"
+            setattr(self, name, m)
+            self._order.append(name)
+
+    def append(self, m: Module) -> "Sequential":
+        name = f"m{len(self._order)}"
+        setattr(self, name, m)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, n) for n in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+
+class ModuleList(Module):
+    """Indexed container of submodules (registered, not auto-called)."""
+
+    def __init__(self, mods=()):
+        super().__init__()
+        self._order: List[str] = []
+        for m in mods:
+            self.append(m)
+
+    def append(self, m: Module) -> "ModuleList":
+        name = f"m{len(self._order)}"
+        setattr(self, name, m)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, n) for n in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])

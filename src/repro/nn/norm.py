@@ -1,0 +1,72 @@
+"""Batch-independent normalization layers.
+
+BatchNorm's train/eval statistics mismatch is one source of fp32-vs-int8
+divergence; LayerNorm and GroupNorm are the batch-independent
+alternatives, included so adaptation experiments can control for that
+factor (and because a credible nn library ships them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Normalize over the trailing feature dimension of (N, F) tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        xhat = centered * ((var + self.eps) ** -0.5)
+        return xhat * self.weight + self.bias
+
+    def __repr__(self):
+        return f"LayerNorm({self.num_features})"
+
+
+class GroupNorm(Module):
+    """Normalize NCHW tensors over (channels/groups, H, W) per group."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(f"{num_channels} channels not divisible by "
+                             f"{num_groups} groups")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels))
+        self.bias = Parameter(np.zeros(num_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        g = self.num_groups
+        grouped = x.reshape(n, g, c // g, h, w)
+        mu = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        centered = grouped - mu
+        var = (centered * centered).mean(axis=(2, 3, 4), keepdims=True)
+        xhat = (centered * ((var + self.eps) ** -0.5)).reshape(n, c, h, w)
+        wgt = self.weight.reshape(1, c, 1, 1)
+        b = self.bias.reshape(1, c, 1, 1)
+        return xhat * wgt + b
+
+    def __repr__(self):
+        return f"GroupNorm({self.num_groups}, {self.num_channels})"
+
+
+class InstanceNorm2d(GroupNorm):
+    """GroupNorm with one group per channel."""
+
+    def __init__(self, num_channels: int, eps: float = 1e-5):
+        super().__init__(num_channels, num_channels, eps)

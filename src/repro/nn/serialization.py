@@ -1,0 +1,25 @@
+"""State-dict persistence on top of ``numpy.savez_compressed``."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state(model: Module, path: str) -> None:
+    """Save a model's state dict to an ``.npz`` file."""
+    state = model.state_dict()
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, **{k: v for k, v in state.items()})
+
+
+def load_state(model: Module, path: str, strict: bool = True) -> Module:
+    """Load a state dict saved by :func:`save_state` into ``model``."""
+    with np.load(path) as npz:
+        state: Dict[str, np.ndarray] = {k: npz[k] for k in npz.files}
+    model.load_state_dict(state, strict=strict)
+    return model

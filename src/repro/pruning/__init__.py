@@ -1,0 +1,13 @@
+"""``repro.pruning`` — magnitude pruning adaptation (§5.6)."""
+
+from .magnitude import (apply_masks, global_masks, layerwise_masks,
+                        magnitude_mask, model_sparsity, prunable_layers)
+from .prune import prune_finetune, prune_model, prune_then_quantize
+from .schedule import ConstantSchedule, PolynomialDecaySchedule
+
+__all__ = [
+    "magnitude_mask", "layerwise_masks", "global_masks", "apply_masks",
+    "model_sparsity", "prunable_layers",
+    "prune_model", "prune_finetune", "prune_then_quantize",
+    "PolynomialDecaySchedule", "ConstantSchedule",
+]

@@ -1,0 +1,91 @@
+"""Magnitude-based weight pruning masks.
+
+Pruning zeroes the smallest-magnitude weights (Zhu & Gupta 2018 — the
+tfmot scheme the paper uses) to reach a target sparsity, either per layer
+or globally across all prunable weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+
+
+def prunable_layers(model: Module) -> List[Tuple[str, Module]]:
+    """Conv2d/Linear layers eligible for weight pruning."""
+    return [(name, mod) for name, mod in model.named_modules()
+            if isinstance(mod, (Conv2d, Linear))]
+
+
+def magnitude_mask(weight: np.ndarray, sparsity: float) -> np.ndarray:
+    """Binary mask keeping the largest-magnitude ``1 - sparsity`` fraction.
+
+    Ties at the threshold are broken toward keeping (mask >= threshold),
+    so realized sparsity never exceeds the requested one by more than the
+    tie mass.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if sparsity == 0.0:
+        return np.ones_like(weight)
+    flat = np.abs(weight).ravel()
+    k = int(np.floor(sparsity * flat.size))
+    if k == 0:
+        return np.ones_like(weight)
+    # threshold = k-th smallest magnitude; everything strictly below goes
+    thresh = np.partition(flat, k - 1)[k - 1]
+    mask = (np.abs(weight) > thresh).astype(weight.dtype)
+    # exactly-at-threshold weights fill remaining keep slots deterministically
+    keep_target = flat.size - k
+    short = keep_target - int(mask.sum())
+    if short > 0:
+        at = np.flatnonzero((np.abs(weight) == thresh).ravel() & (mask.ravel() == 0))
+        mask.ravel()[at[:short]] = 1.0
+    return mask
+
+
+def layerwise_masks(model: Module, sparsity: float) -> Dict[str, np.ndarray]:
+    """Per-layer masks, each at the target sparsity."""
+    return {name: magnitude_mask(mod.weight.data, sparsity)
+            for name, mod in prunable_layers(model)}
+
+
+def global_masks(model: Module, sparsity: float) -> Dict[str, np.ndarray]:
+    """Masks from a single global magnitude threshold across layers."""
+    layers = prunable_layers(model)
+    if not layers:
+        return {}
+    all_mags = np.concatenate([np.abs(m.weight.data).ravel() for _, m in layers])
+    k = int(np.floor(sparsity * all_mags.size))
+    if k == 0:
+        return {name: np.ones_like(m.weight.data) for name, m in layers}
+    thresh = np.partition(all_mags, k - 1)[k - 1]
+    return {name: (np.abs(m.weight.data) > thresh).astype(m.weight.data.dtype)
+            for name, m in layers}
+
+
+def apply_masks(model: Module, masks: Dict[str, np.ndarray]) -> None:
+    """Install masks on layers (weights are masked in every forward)."""
+    by_name = dict(prunable_layers(model))
+    unknown = set(masks) - set(by_name)
+    if unknown:
+        raise KeyError(f"masks reference unknown layers: {sorted(unknown)}")
+    for name, mask in masks.items():
+        by_name[name].set_weight_mask(mask)
+
+
+def model_sparsity(model: Module) -> float:
+    """Realized weight sparsity over prunable layers (masked or zero)."""
+    zero = 0
+    total = 0
+    for _, mod in prunable_layers(model):
+        w = mod.weight.data
+        if mod.weight_mask is not None:
+            w = w * mod.weight_mask
+        zero += int((w == 0).sum())
+        total += w.size
+    return zero / total if total else 0.0

@@ -1,0 +1,48 @@
+"""Sparsity schedules for gradual pruning during finetuning.
+
+Implements the polynomial-decay schedule of Zhu & Gupta (2018), the
+default in tfmot's ``PolynomialDecay``: sparsity ramps from an initial to
+a final value over a window of steps with cubic easing, letting the
+network recover between pruning increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PolynomialDecaySchedule:
+    """s(t) = s_f + (s_i - s_f) * (1 - (t - t0) / (t1 - t0))^power."""
+
+    initial_sparsity: float = 0.0
+    final_sparsity: float = 0.67
+    begin_step: int = 0
+    end_step: int = 100
+    power: float = 3.0
+
+    def __post_init__(self):
+        if not 0 <= self.initial_sparsity <= self.final_sparsity < 1:
+            raise ValueError("need 0 <= initial <= final < 1")
+        if self.end_step <= self.begin_step:
+            raise ValueError("end_step must exceed begin_step")
+
+    def sparsity_at(self, step: int) -> float:
+        if step <= self.begin_step:
+            return self.initial_sparsity
+        if step >= self.end_step:
+            return self.final_sparsity
+        frac = (step - self.begin_step) / (self.end_step - self.begin_step)
+        return (self.final_sparsity +
+                (self.initial_sparsity - self.final_sparsity) *
+                (1.0 - frac) ** self.power)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """One-shot pruning at a fixed sparsity."""
+
+    sparsity: float = 0.67
+
+    def sparsity_at(self, step: int) -> float:
+        return self.sparsity

@@ -1,0 +1,33 @@
+"""``repro.quantization`` — int8/int4 model adaptation (the paper's §2.1).
+
+Implements affine quantization math, range observers, fake-quant with
+straight-through estimators, QAT and PTQ pipelines, and the layer
+extraction API the semi-blackbox attack (§4.3) relies on.
+"""
+
+from .affine import (QuantParams, choose_qparams, dequantize,
+                     fake_quantize_array, int_range, quantization_error,
+                     quantize, quantize_multiplier, requantize)
+from .extract import (ExtractedLayer, export_float_state,
+                      export_quantized_layers, extract_deployed_model,
+                      model_size_bytes, reconstruct_float_model)
+from .fake_quant import FakeQuantize, fake_quant_ste
+from .observers import (HistogramObserver, MinMaxObserver,
+                        MovingAverageMinMaxObserver, Observer,
+                        PerChannelMinMaxObserver)
+from .ptq import post_training_quantize
+from .qat import QATModel, calibrate, prepare_qat, qat_finetune
+from .serialization import load_qat, save_qat
+
+__all__ = [
+    "QuantParams", "choose_qparams", "quantize", "dequantize",
+    "fake_quantize_array", "quantization_error", "int_range",
+    "quantize_multiplier", "requantize",
+    "Observer", "MinMaxObserver", "MovingAverageMinMaxObserver",
+    "PerChannelMinMaxObserver", "HistogramObserver",
+    "FakeQuantize", "fake_quant_ste",
+    "QATModel", "prepare_qat", "calibrate", "qat_finetune",
+    "post_training_quantize", "save_qat", "load_qat",
+    "ExtractedLayer", "export_quantized_layers", "export_float_state",
+    "reconstruct_float_model", "extract_deployed_model", "model_size_bytes",
+]

@@ -1,0 +1,136 @@
+"""Model-extraction utilities for the semi-blackbox attack (§4.3).
+
+The paper assumes the attacker "can obtain the adapted model from an edge
+device and recover the differentiable quantization model by extracting the
+zero points, scales and weights for each layer".  This module implements
+both sides of that story:
+
+- :func:`export_quantized_layers` is the *deployment* view: per-layer
+  integer weights + quantization parameters (what ships to the device);
+- :func:`reconstruct_float_model` is the *attacker* view: rebuild a
+  differentiable model from those extracted integers, with accuracy
+  retained and no finetuning, exactly as §4.3 claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .affine import QuantParams, dequantize, quantize
+from .qat import QATModel
+
+__all__ = ["ExtractedLayer", "export_quantized_layers", "export_float_state",
+           "reconstruct_float_model", "extract_deployed_model",
+           "model_size_bytes"]
+
+
+@dataclass
+class ExtractedLayer:
+    """What an attacker reads out of a deployed layer."""
+
+    name: str
+    kind: str                      # "conv2d" | "linear"
+    q_weight: np.ndarray           # int32 array on the integer grid
+    weight_qparams: QuantParams
+    bias: Optional[np.ndarray]     # float bias (TFLite stores int32 bias; the
+                                   # float view is scale-exact either way)
+
+
+def export_quantized_layers(qat_model: QATModel) -> List[ExtractedLayer]:
+    """Serialize every quantized layer of an adapted model."""
+    out: List[ExtractedLayer] = []
+    for name, mod in qat_model.model.named_modules():
+        if isinstance(mod, (Conv2d, Linear)) and mod.weight_fake_quant is not None:
+            fq = mod.weight_fake_quant
+            qp = fq.qparams()
+            w = mod.weight.data
+            if mod.weight_mask is not None:
+                w = w * mod.weight_mask
+            out.append(ExtractedLayer(
+                name=name,
+                kind="conv2d" if isinstance(mod, Conv2d) else "linear",
+                q_weight=quantize(w, qp),
+                weight_qparams=qp,
+                bias=None if mod.bias is None else mod.bias.data.copy(),
+            ))
+    return out
+
+
+def export_float_state(qat_model: QATModel) -> Dict[str, np.ndarray]:
+    """Non-quantized state of the deployed model (BN params/statistics,
+    etc.).  A deployed artifact carries these in the clear (or folded);
+    either way the attacker reads them out alongside the int8 weights."""
+    quantized_weights = set()
+    for name, mod in qat_model.model.named_modules():
+        if isinstance(mod, (Conv2d, Linear)) and mod.weight_fake_quant is not None:
+            quantized_weights.add(f"{name}.weight" if name else "weight")
+    state = qat_model.model.state_dict()
+    return {k: v for k, v in state.items() if k not in quantized_weights}
+
+
+def reconstruct_float_model(template: Module,
+                            layers: List[ExtractedLayer],
+                            float_state: Optional[Dict[str, np.ndarray]] = None
+                            ) -> Module:
+    """Load extracted integer weights into a float model of matching
+    architecture.
+
+    ``template`` supplies the architecture (the attacker knows it — model
+    families on edge devices are standard); weights become
+    ``dequantize(q, qparams)``, which lands exactly on the adapted model's
+    effective weights.  ``float_state`` (from :func:`export_float_state`)
+    restores the deployed model's non-quantized tensors — batch-norm
+    parameters and running statistics in particular, without which the
+    reconstruction cannot retain accuracy.
+    """
+    clone = template.copy_structure()
+    if float_state is not None:
+        clone.load_state_dict(dict(float_state), strict=False)
+    by_name: Dict[str, ExtractedLayer] = {l.name: l for l in layers}
+    matched = 0
+    for name, mod in clone.named_modules():
+        if isinstance(mod, (Conv2d, Linear)) and name in by_name:
+            rec = by_name[name]
+            w = dequantize(rec.q_weight, rec.weight_qparams)
+            if w.shape != mod.weight.data.shape:
+                raise ValueError(f"{name}: extracted weight shape {w.shape} "
+                                 f"!= template {mod.weight.data.shape}")
+            mod.weight.data = w.astype(mod.weight.data.dtype)
+            if rec.bias is not None and mod.bias is not None:
+                mod.bias.data = rec.bias.astype(mod.bias.data.dtype)
+            matched += 1
+    if matched != len(layers):
+        raise ValueError(f"only matched {matched}/{len(layers)} extracted layers")
+    return clone
+
+
+def extract_deployed_model(qat_model: QATModel, template: Module) -> Module:
+    """The §4.3 extraction step end to end: read the deployed artifact's
+    integer weights + quantization params + float state, and rebuild a
+    differentiable full-precision model that "retains its accuracy
+    without any fine-tuning" (paper's wording)."""
+    layers = export_quantized_layers(qat_model)
+    float_state = export_float_state(qat_model)
+    return reconstruct_float_model(template, layers, float_state)
+
+
+def model_size_bytes(model: Module, quantized_bits: Optional[int] = None) -> int:
+    """Parameter storage footprint (the metric quantization improves).
+
+    With ``quantized_bits`` set, weights of quantizable layers count at
+    that width while biases stay at 32-bit — the TFLite layout.
+    """
+    total_bits = 0
+    for name, mod in model.named_modules():
+        for pname, p in mod._parameters.items():
+            if quantized_bits is not None and pname == "weight" and \
+                    isinstance(mod, (Conv2d, Linear)):
+                total_bits += p.size * quantized_bits
+            else:
+                total_bits += p.size * 32
+    return total_bits // 8

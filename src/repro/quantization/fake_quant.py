@@ -1,0 +1,109 @@
+"""Fake quantization with a straight-through estimator.
+
+The forward pass snaps values to the integer grid (quantize-dequantize);
+the backward pass passes gradients straight through inside the
+representable range and zeroes them outside (the clamped STE of Bengio et
+al. 2013, used by QAT).  This is the mechanism that makes the adapted
+model differentiable — the property §6 of the paper relies on ("Tflite
+supports only inference ... we use QAT's gradients").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .affine import QuantParams, fake_quantize_array
+from .observers import (MinMaxObserver, MovingAverageMinMaxObserver, Observer,
+                        PerChannelMinMaxObserver)
+
+
+def fake_quant_ste(x: Tensor, qp: QuantParams) -> Tensor:
+    """Differentiable fake-quantize of ``x`` under params ``qp``."""
+    data = fake_quantize_array(x.data, qp)
+    out = Tensor(data, requires_grad=x.requires_grad,
+                 _parents=(x,) if x.requires_grad else ())
+    if x.requires_grad:
+        s = qp.scale_for(x.data.ndim)
+        z = qp.zero_point_for(x.data.ndim)
+        lo = (qp.qmin - z) * s
+        hi = (qp.qmax - z) * s
+        mask = (x.data >= lo) & (x.data <= hi)
+
+        def _bw(g, x=x, m=mask):
+            if x.requires_grad:
+                x._accumulate(g * m)
+        out._backward = _bw
+    return out
+
+
+class FakeQuantize(Module):
+    """Observer + fake-quant op as a module.
+
+    While ``training`` and ``observer_enabled``, each forward updates the
+    observer with the incoming statistics; the quantization grid is then
+    recomputed from the observer. Calling :meth:`freeze` pins the grid
+    (equivalent to converting for deployment).
+    """
+
+    def __init__(self, observer: Optional[Observer] = None):
+        super().__init__()
+        self.observer = observer if observer is not None else \
+            MovingAverageMinMaxObserver(bits=8, signed=True, symmetric=False)
+        self.observer_enabled = True
+        self.fake_quant_enabled = True
+        self._frozen_qparams: Optional[QuantParams] = None
+
+    # -- construction helpers ------------------------------------------- #
+    @classmethod
+    def for_weights(cls, bits: int = 8, per_channel: bool = True) -> "FakeQuantize":
+        """Symmetric signed quantizer, per-channel by default (axis 0)."""
+        if per_channel:
+            obs = PerChannelMinMaxObserver(bits=bits, signed=True, symmetric=True, axis=0)
+        else:
+            obs = MinMaxObserver(bits=bits, signed=True, symmetric=True)
+        return cls(obs)
+
+    @classmethod
+    def for_activations(cls, bits: int = 8, momentum: float = 0.1) -> "FakeQuantize":
+        """Asymmetric signed per-tensor quantizer with EMA observer."""
+        return cls(MovingAverageMinMaxObserver(bits=bits, signed=True,
+                                               symmetric=False, momentum=momentum))
+
+    # -- control --------------------------------------------------------- #
+    def freeze(self) -> None:
+        """Pin the current grid; observers stop mattering afterwards."""
+        self._frozen_qparams = self.observer.compute_qparams()
+        self.observer_enabled = False
+
+    def unfreeze(self) -> None:
+        self._frozen_qparams = None
+        self.observer_enabled = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen_qparams is not None
+
+    def qparams(self) -> QuantParams:
+        if self._frozen_qparams is not None:
+            return self._frozen_qparams
+        return self.observer.compute_qparams()
+
+    # -- forward ---------------------------------------------------------- #
+    def forward(self, x: Tensor) -> Tensor:
+        if self.observer_enabled and self.training and not self.frozen:
+            self.observer.observe(x.data)
+        if not self.fake_quant_enabled:
+            return x
+        if not self.frozen and not self.observer.initialized:
+            # first ever call in eval mode before any observation: identity
+            if not self.training:
+                return x
+        return fake_quant_ste(x, self.qparams())
+
+    def __repr__(self):
+        kind = type(self.observer).__name__
+        return f"FakeQuantize({kind}, bits={self.observer.bits}, frozen={self.frozen})"

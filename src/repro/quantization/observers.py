@@ -1,0 +1,150 @@
+"""Range observers that drive quantization-parameter selection.
+
+Observers watch tensors flowing through the network (during calibration or
+QAT) and summarize their dynamic range; ``compute_qparams`` then converts
+the range into :class:`~repro.quantization.affine.QuantParams`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .affine import QuantParams, choose_qparams, int_range
+
+
+class Observer:
+    """Base observer: tracks a range and exports quantization params."""
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
+                 axis: Optional[int] = None):
+        self.bits = bits
+        self.signed = signed
+        self.symmetric = symmetric
+        self.axis = axis
+        self.qmin, self.qmax = int_range(bits, signed)
+        self.min_val: Optional[np.ndarray] = None
+        self.max_val: Optional[np.ndarray] = None
+
+    def _reduce(self, x: np.ndarray):
+        if self.axis is None:
+            return np.float64(x.min()), np.float64(x.max())
+        moved = np.moveaxis(x, self.axis, 0).reshape(x.shape[self.axis], -1)
+        return moved.min(axis=1).astype(np.float64), moved.max(axis=1).astype(np.float64)
+
+    def observe(self, x: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.min_val = None
+        self.max_val = None
+
+    @property
+    def initialized(self) -> bool:
+        return self.min_val is not None
+
+    def compute_qparams(self) -> QuantParams:
+        if not self.initialized:
+            raise RuntimeError("observer has seen no data; run calibration first")
+        return choose_qparams(self.min_val, self.max_val, self.qmin, self.qmax,
+                              symmetric=self.symmetric, axis=self.axis)
+
+    def state(self) -> dict:
+        return {"min_val": self.min_val, "max_val": self.max_val}
+
+    def load_state(self, state: dict) -> None:
+        self.min_val = state["min_val"]
+        self.max_val = state["max_val"]
+
+
+class MinMaxObserver(Observer):
+    """Running global min/max over everything observed."""
+
+    def observe(self, x: np.ndarray) -> None:
+        mn, mx = self._reduce(x)
+        if self.min_val is None:
+            self.min_val, self.max_val = mn, mx
+        else:
+            self.min_val = np.minimum(self.min_val, mn)
+            self.max_val = np.maximum(self.max_val, mx)
+
+
+class MovingAverageMinMaxObserver(Observer):
+    """EMA of per-batch min/max — the observer tfmot QAT uses for
+    activations; robust to single-batch outliers."""
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
+                 axis: Optional[int] = None, momentum: float = 0.1):
+        super().__init__(bits, signed, symmetric, axis)
+        self.momentum = momentum
+
+    def observe(self, x: np.ndarray) -> None:
+        mn, mx = self._reduce(x)
+        if self.min_val is None:
+            self.min_val, self.max_val = mn, mx
+        else:
+            m = self.momentum
+            self.min_val = (1 - m) * self.min_val + m * mn
+            self.max_val = (1 - m) * self.max_val + m * mx
+
+
+class PerChannelMinMaxObserver(MinMaxObserver):
+    """Per-channel min/max; default for conv/linear weights (axis 0)."""
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = True,
+                 axis: int = 0):
+        super().__init__(bits, signed, symmetric, axis=axis)
+
+
+class HistogramObserver(Observer):
+    """Histogram-based range selection that clips extreme tails.
+
+    Accumulates a fixed-width histogram of observed values and picks the
+    narrowest range retaining ``coverage`` of the mass — a simple
+    percentile calibrator, useful for PTQ on heavy-tailed activations.
+    """
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
+                 n_bins: int = 512, coverage: float = 0.999):
+        super().__init__(bits, signed, symmetric, axis=None)
+        self.n_bins = n_bins
+        self.coverage = coverage
+        self._counts: Optional[np.ndarray] = None
+        self._lo = 0.0
+        self._hi = 0.0
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).ravel()
+        lo, hi = float(flat.min()), float(flat.max())
+        if self._counts is None:
+            self._lo, self._hi = lo, hi if hi > lo else lo + 1e-9
+            self._counts = np.histogram(flat, bins=self.n_bins,
+                                        range=(self._lo, self._hi))[0].astype(np.float64)
+        else:
+            new_lo, new_hi = min(lo, self._lo), max(hi, self._hi)
+            if new_lo < self._lo or new_hi > self._hi:
+                # rebin existing counts into the widened range
+                centers = np.linspace(self._lo, self._hi, self.n_bins + 1)
+                centers = 0.5 * (centers[:-1] + centers[1:])
+                counts = np.histogram(centers, bins=self.n_bins,
+                                      range=(new_lo, new_hi),
+                                      weights=self._counts)[0]
+                self._counts = counts
+                self._lo, self._hi = new_lo, new_hi
+            self._counts += np.histogram(flat, bins=self.n_bins,
+                                         range=(self._lo, self._hi))[0]
+        self._update_range()
+
+    def _update_range(self) -> None:
+        total = self._counts.sum()
+        if total == 0:
+            return
+        cdf = np.cumsum(self._counts) / total
+        tail = (1.0 - self.coverage) / 2.0
+        edges = np.linspace(self._lo, self._hi, self.n_bins + 1)
+        lo_idx = int(np.searchsorted(cdf, tail))
+        hi_idx = int(np.searchsorted(cdf, 1.0 - tail))
+        hi_idx = min(hi_idx, self.n_bins - 1)
+        self.min_val = np.float64(edges[lo_idx])
+        self.max_val = np.float64(edges[hi_idx + 1])

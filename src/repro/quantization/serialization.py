@@ -1,0 +1,98 @@
+"""Public serialization format for adapted (QAT) models.
+
+The artifact-cache uses pickle internally, but a deployable model needs
+a documented, stable format — the equivalent of a ``.tflite`` flatbuffer.
+This module defines one on ``numpy.savez_compressed``:
+
+- every parameter and buffer of the wrapped model, under its state-dict
+  key (same contract as :mod:`repro.nn.serialization`);
+- for every fake-quant module, its observer ranges and frozen grid under
+  reserved ``__fq__`` keys, so a loaded model quantizes identically
+  without re-calibration.
+
+Round trip: ``save_qat(model, path)`` then ``load_qat(builder, path)``
+where ``builder()`` constructs an architecturally-identical float model.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..nn.module import Module
+from .fake_quant import FakeQuantize
+from .qat import QATModel, prepare_qat
+
+_FQ_PREFIX = "__fq__"
+_META_PREFIX = "__meta__"
+
+
+def save_qat(qat_model: QATModel, path: str) -> None:
+    """Serialize an adapted model (weights + quantization state)."""
+    payload: Dict[str, np.ndarray] = {}
+    for key, value in qat_model.model.state_dict().items():
+        payload[f"model.{key}"] = value
+    for name, fq in qat_model.fake_quant_modules():
+        obs = fq.observer
+        if obs.initialized:
+            payload[f"{_FQ_PREFIX}{name}.min"] = np.atleast_1d(
+                np.asarray(obs.min_val, dtype=np.float64))
+            payload[f"{_FQ_PREFIX}{name}.max"] = np.atleast_1d(
+                np.asarray(obs.max_val, dtype=np.float64))
+        payload[f"{_FQ_PREFIX}{name}.frozen"] = np.array(
+            [1 if fq.frozen else 0])
+    payload[f"{_META_PREFIX}weight_bits"] = np.array([qat_model.weight_bits])
+    payload[f"{_META_PREFIX}act_bits"] = np.array([qat_model.act_bits])
+    payload[f"{_META_PREFIX}has_input_fq"] = np.array(
+        [1 if qat_model.input_fake_quant is not None else 0])
+    per_channel = any(
+        getattr(fq.observer, "axis", None) is not None
+        for _, fq in qat_model.fake_quant_modules())
+    payload[f"{_META_PREFIX}per_channel"] = np.array([1 if per_channel else 0])
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_qat(float_builder: Callable[[], Module], path: str) -> QATModel:
+    """Rebuild an adapted model from :func:`save_qat` output.
+
+    ``float_builder`` must return a float model of the same architecture
+    (weight values are irrelevant; they are overwritten).
+    """
+    with np.load(path) as npz:
+        payload = {k: npz[k] for k in npz.files}
+    weight_bits = int(payload.pop(f"{_META_PREFIX}weight_bits")[0])
+    act_bits = int(payload.pop(f"{_META_PREFIX}act_bits")[0])
+    has_input_fq = bool(payload.pop(f"{_META_PREFIX}has_input_fq")[0])
+    per_channel = bool(payload.pop(f"{_META_PREFIX}per_channel")[0])
+
+    qat = prepare_qat(float_builder(), weight_bits=weight_bits,
+                      act_bits=act_bits, quantize_input=has_input_fq,
+                      per_channel=per_channel)
+
+    model_state = {k[len("model."):]: v for k, v in payload.items()
+                   if k.startswith("model.")}
+    qat.model.load_state_dict(model_state)
+
+    fq_by_name = dict(qat.fake_quant_modules())
+    frozen_names = []
+    for key, value in payload.items():
+        if not key.startswith(_FQ_PREFIX):
+            continue
+        name, field = key[len(_FQ_PREFIX):].rsplit(".", 1)
+        if name not in fq_by_name:
+            raise KeyError(f"serialized fake-quant {name!r} not found in "
+                           "the rebuilt model; architecture mismatch?")
+        fq = fq_by_name[name]
+        if field == "min":
+            fq.observer.min_val = value if value.size > 1 else np.float64(value[0])
+        elif field == "max":
+            fq.observer.max_val = value if value.size > 1 else np.float64(value[0])
+        elif field == "frozen" and int(value[0]):
+            frozen_names.append(name)
+    for name in frozen_names:  # freeze only after ranges are restored
+        fq_by_name[name].freeze()
+    qat.eval()
+    return qat

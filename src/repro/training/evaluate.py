@@ -1,0 +1,61 @@
+"""Batched inference and accuracy evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Forward the whole array in eval mode; returns (N, classes) logits."""
+    was_training = getattr(model, "training", False)
+    model.eval()
+    outs = []
+    for start in range(0, len(x), batch_size):
+        outs.append(model(Tensor(x[start:start + batch_size])).data.copy())
+    if was_training:
+        model.train()
+    return np.concatenate(outs, axis=0)
+
+
+def predict_probs(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Softmax probabilities, batched."""
+    logits = predict_logits(model, x, batch_size)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def predict_labels(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    return predict_logits(model, x, batch_size).argmax(axis=1)
+
+
+def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                      batch_size: int = 128) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    return float((predict_labels(model, x, batch_size) == np.asarray(y)).mean())
+
+
+def evaluate_topk_accuracy(model: Module, x: np.ndarray, y: np.ndarray, k: int = 5,
+                           batch_size: int = 128) -> float:
+    """Top-k accuracy in [0, 1]."""
+    logits = predict_logits(model, x, batch_size)
+    topk = np.argsort(-logits, axis=1)[:, :k]
+    return float((topk == np.asarray(y)[:, None]).any(axis=1).mean())
+
+
+def evaluate_loss(model: Module, x: np.ndarray, y: np.ndarray,
+                  batch_size: int = 128) -> float:
+    """Mean cross-entropy loss."""
+    total = 0.0
+    model.eval()
+    for start in range(0, len(x), batch_size):
+        xb = Tensor(x[start:start + batch_size])
+        loss = F.cross_entropy(model(xb), y[start:start + batch_size], reduction="sum")
+        total += float(loss.data)
+    return total / len(x)

@@ -1,0 +1,7 @@
+"""``repro.utils`` — deterministic RNG derivation and PPM image output."""
+
+from .imageio import noise_to_image, write_pgm, write_ppm
+from .rng import child_generator, child_seed, generator
+
+__all__ = ["generator", "child_seed", "child_generator",
+           "write_ppm", "write_pgm", "noise_to_image"]

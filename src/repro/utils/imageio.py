@@ -1,0 +1,53 @@
+"""Minimal image writing (PPM/PGM) — no imaging libraries available.
+
+Used by the example scripts to dump original / noise / attacked images
+(the paper's Fig 3 and Fig 9 panels) as portable pixmaps any viewer
+opens.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def _to_uint8(img: np.ndarray) -> np.ndarray:
+    return np.clip(np.asarray(img) * 255.0 + 0.5, 0, 255).astype(np.uint8)
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write a (3, H, W) float image in [0, 1] as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {image.shape}")
+    h, w = image.shape[1:]
+    data = _to_uint8(image).transpose(1, 2, 0).tobytes()
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(data)
+
+
+def write_pgm(path: str, image: np.ndarray) -> None:
+    """Write a (H, W) or (1, H, W) float image in [0, 1] as binary PGM."""
+    image = np.asarray(image)
+    if image.ndim == 3:
+        if image.shape[0] != 1:
+            raise ValueError(f"expected single channel, got {image.shape}")
+        image = image[0]
+    h, w = image.shape
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as f:
+        f.write(f"P5\n{w} {h}\n255\n".encode())
+        f.write(_to_uint8(image).tobytes())
+
+
+def noise_to_image(noise: np.ndarray) -> np.ndarray:
+    """Rescale a signed perturbation to [0, 1] for visualization
+    (matching the paper's 'attack noise' panels)."""
+    noise = np.asarray(noise)
+    peak = np.abs(noise).max()
+    if peak == 0:
+        return np.full_like(noise, 0.5)
+    return 0.5 + noise / (2 * peak)

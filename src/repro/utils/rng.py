@@ -1,0 +1,41 @@
+"""Deterministic RNG helpers.
+
+Every stochastic stage in the library takes an explicit seed or
+``numpy.random.Generator``; these helpers derive independent child
+generators from a root seed so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+SeedLike = Union[int, Tuple[int, ...]]
+
+
+def generator(seed: SeedLike) -> np.random.Generator:
+    """A fresh generator for ``seed`` (int or tuple of ints)."""
+    return np.random.default_rng(seed)
+
+
+def child_seed(root: int, *path: Union[int, str]) -> Tuple[int, ...]:
+    """Derive a child seed tuple from a root seed and a label path.
+
+    String labels hash stably (not via ``hash``, which is salted) so the
+    same path yields the same seed across processes.
+    """
+    parts = [root]
+    for p in path:
+        if isinstance(p, str):
+            acc = 0
+            for ch in p:
+                acc = (acc * 131 + ord(ch)) % (2 ** 31 - 1)
+            parts.append(acc)
+        else:
+            parts.append(int(p))
+    return tuple(parts)
+
+
+def child_generator(root: int, *path: Union[int, str]) -> np.random.Generator:
+    return np.random.default_rng(child_seed(root, *path))

@@ -1,0 +1,102 @@
+"""Analysis: PCA, representation extraction, boundary probing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PCA, extract_features, probe_boundary_plane,
+                            random_directions)
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self, rng):
+        direction = np.array([3.0, 4.0]) / 5.0
+        data = rng.normal(size=(500, 1)) * 10 @ direction[None, :]
+        data += rng.normal(size=(500, 2)) * 0.1
+        pca = PCA(n_components=1).fit(data)
+        comp = pca.components_[0]
+        assert abs(abs(comp @ direction) - 1.0) < 0.01
+
+    def test_explained_variance_ratio_sums_le_one(self, rng):
+        data = rng.normal(size=(100, 8))
+        pca = PCA(n_components=3).fit(data)
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+        assert (np.diff(pca.explained_variance_) <= 1e-9).all()
+
+    def test_transform_centers(self, rng):
+        data = rng.normal(5.0, 1.0, size=(200, 4))
+        z = PCA(n_components=2).fit_transform(data)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-9)
+
+    def test_inverse_transform_reconstructs(self, rng):
+        data = rng.normal(size=(50, 3))
+        pca = PCA(n_components=3).fit(data)
+        rec = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(rec, data, atol=1e-9)
+
+    def test_deterministic_signs(self, rng):
+        data = rng.normal(size=(60, 5))
+        c1 = PCA(n_components=2).fit(data).components_
+        c2 = PCA(n_components=2).fit(data.copy()).components_
+        assert np.allclose(c1, c2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PCA(n_components=5).fit(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            PCA().fit(rng.normal(size=10))
+        with pytest.raises(RuntimeError):
+            PCA().transform(rng.normal(size=(3, 2)))
+
+
+class TestRepresentations:
+    def test_extract_features_shape(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        f = extract_features(tiny_model, val.x[:10], batch_size=4)
+        assert f.shape == (10, tiny_model.feature_dim)
+
+    def test_features_separate_classes(self, tiny_model, tiny_dataset):
+        """Within-class feature distance should undercut between-class."""
+        _, val = tiny_dataset
+        f = extract_features(tiny_model, val.x)
+        y = val.y
+        centroids = np.stack([f[y == c].mean(axis=0) for c in range(6)])
+        within = np.mean([np.linalg.norm(f[y == c] - centroids[c], axis=1).mean()
+                          for c in range(6)])
+        between = np.mean([np.linalg.norm(centroids[a] - centroids[b])
+                           for a in range(6) for b in range(6) if a != b])
+        assert between > within * 0.5
+
+    def test_requires_features_method(self, fixed_logit_model):
+        with pytest.raises(TypeError):
+            extract_features(fixed_logit_model(np.zeros((1, 2))),
+                             np.zeros((1, 1, 2, 2)))
+
+
+class TestBoundaryProbe:
+    def test_directions_orthonormal(self, rng):
+        d1, d2 = random_directions((3, 8, 8), rng)
+        assert np.isclose(np.linalg.norm(d1), 1.0)
+        assert np.isclose(np.linalg.norm(d2), 1.0)
+        assert abs((d1 * d2).sum()) < 1e-9
+
+    def test_probe_map_shapes(self, tiny_model, tiny_quantized, tiny_dataset,
+                              rng):
+        _, val = tiny_dataset
+        d1, d2 = random_directions(val.x[0].shape, rng)
+        bmap = probe_boundary_plane(tiny_model, tiny_quantized, val.x[0],
+                                    d1, d2, radius=0.2, resolution=7)
+        assert bmap.labels_original.shape == (7, 7)
+        assert bmap.labels_adapted.shape == (7, 7)
+        assert 0.0 <= bmap.disagreement_fraction <= 1.0
+        assert bmap.disagreement_mask().shape == (7, 7)
+
+    def test_center_label_matches_direct_prediction(self, tiny_model,
+                                                    tiny_quantized,
+                                                    tiny_dataset, rng):
+        from repro.training import predict_labels
+        _, val = tiny_dataset
+        d1, d2 = random_directions(val.x[0].shape, rng)
+        bmap = probe_boundary_plane(tiny_model, tiny_quantized, val.x[0],
+                                    d1, d2, radius=0.1, resolution=5)
+        direct = predict_labels(tiny_model, val.x[:1])[0]
+        assert bmap.labels_original[2, 2] == direct

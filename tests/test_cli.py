@@ -1,0 +1,65 @@
+"""CLI entry point and example-script integrity."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+
+class TestCLI:
+    def test_registry_covers_every_experiment_module(self):
+        from repro.experiments.cli import _registry
+        reg = _registry()
+        for required in ("table1", "fig1", "fig2", "fig4", "fig6", "fig6d",
+                         "table2", "fig7", "dssim", "sec54", "sec55", "fig8",
+                         "fig10", "targeted", "ablation-bits", "distilled"):
+            assert required in reg, required
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.cli import main
+        with pytest.raises(SystemExit):
+            main(["bogus-experiment"])
+
+    def test_smoke_run_via_cli(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "results"))
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "artifacts"))
+        # fresh store bound to the env var
+        import repro.experiments.artifacts as artifacts
+        monkeypatch.setattr(artifacts, "_STORE", None)
+        monkeypatch.setattr(artifacts, "_DEFAULT_ROOT",
+                            str(tmp_path / "artifacts"))
+        from repro.experiments.cli import main
+        assert main(["table1", "--smoke"]) == 0
+        assert (tmp_path / "results" / "table1.json").exists()
+
+    def test_report_command(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        import importlib
+        from repro.experiments import report
+        importlib.reload(report)
+        out = report.write_report(str(tmp_path / "EXPERIMENTS.md"))
+        assert os.path.exists(out)
+
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+class TestExamples:
+    """Examples must at least import cleanly (full runs are minutes-long;
+    the quickstart path is covered by the experiment smoke tests)."""
+
+    @pytest.mark.parametrize("script", [
+        "quickstart.py", "face_recognition_attack.py",
+        "semi_blackbox_attack.py", "pruning_attack.py",
+        "robust_training_defense.py", "edge_deployment.py",
+    ])
+    def test_example_imports(self, script):
+        path = os.path.join(EXAMPLES_DIR, script)
+        assert os.path.exists(path), script
+        spec = importlib.util.spec_from_file_location(
+            f"example_{script[:-3]}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)      # runs top-level imports only
+        assert hasattr(module, "main")

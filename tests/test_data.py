@@ -1,0 +1,201 @@
+"""Datasets: generation determinism, split semantics, transforms,
+attack-set selection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import (ArrayDataset, SynthFacesConfig, SynthImageNetConfig,
+                        additive_noise, augment_batch, channel_stats,
+                        correctly_classified_mask, denormalize,
+                        generate_synth_digits, generate_synth_faces,
+                        generate_synth_imagenet, iterate_batches, normalize,
+                        random_horizontal_flip, random_shift,
+                        select_attack_set, standard_splits, stratified_sample)
+
+
+class TestArrayDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 4, 4)), np.zeros(2), 2)
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 4)), np.zeros(3), 2)
+
+    def test_subset_and_split(self, rng):
+        ds = ArrayDataset(rng.normal(size=(10, 1, 4, 4)),
+                          np.arange(10) % 2, 2)
+        a, b = ds.split(0.7, rng)
+        assert len(a) == 7 and len(b) == 3
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((6, 1, 2, 2)),
+                          np.array([0, 0, 1, 1, 1, 3]), 5)
+        assert ds.class_counts().tolist() == [2, 3, 0, 1, 0]
+
+
+class TestSynthImageNet:
+    def test_deterministic(self):
+        cfg = SynthImageNetConfig(num_classes=4, image_size=8)
+        a = generate_synth_imagenet(5, cfg, split_seed=1)
+        b = generate_synth_imagenet(5, cfg, split_seed=1)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+
+    def test_split_seeds_disjoint_instances(self):
+        cfg = SynthImageNetConfig(num_classes=3, image_size=8)
+        a = generate_synth_imagenet(5, cfg, split_seed=1)
+        b = generate_synth_imagenet(5, cfg, split_seed=2)
+        assert not np.allclose(a.x, b.x)
+
+    def test_shapes_and_range(self):
+        cfg = SynthImageNetConfig(num_classes=3, image_size=10)
+        ds = generate_synth_imagenet(4, cfg)
+        assert ds.x.shape == (12, 3, 10, 10)
+        assert ds.x.dtype == np.float32
+        assert ds.x.min() >= 0.0 and ds.x.max() <= 1.0
+        assert ds.class_counts().tolist() == [4, 4, 4]
+
+    def test_classes_distinguishable(self):
+        """Noise-free class means should differ clearly between classes."""
+        cfg = SynthImageNetConfig(num_classes=4, image_size=12, noise=0.0,
+                                  jitter=0.0)
+        ds = generate_synth_imagenet(6, cfg)
+        means = np.stack([ds.x[ds.y == c].mean(axis=0).ravel()
+                          for c in range(4)])
+        dists = np.linalg.norm(means[:, None] - means[None, :], axis=2)
+        off_diag = dists[~np.eye(4, dtype=bool)]
+        assert off_diag.min() > 0.5
+
+    def test_standard_splits(self):
+        cfg = SynthImageNetConfig(num_classes=3, image_size=8)
+        train, val, surr = standard_splits(cfg, 6, 3, 3)
+        assert len(train) == 18 and len(val) == 9 and len(surr) == 9
+
+
+class TestSynthDigits:
+    def test_deterministic(self):
+        a = generate_synth_digits(3, image_size=14, split_seed=1)
+        b = generate_synth_digits(3, image_size=14, split_seed=1)
+        assert np.array_equal(a.x, b.x)
+
+    def test_shapes(self):
+        ds = generate_synth_digits(2, image_size=20)
+        assert ds.x.shape == (20, 1, 20, 20)
+        assert ds.num_classes == 10
+        assert ds.x.min() >= 0 and ds.x.max() <= 1
+
+    def test_digits_have_ink(self):
+        ds = generate_synth_digits(2, image_size=20, noise=0.0)
+        assert (ds.x.reshape(len(ds.x), -1).max(axis=1) > 0.5).all()
+
+
+class TestSynthFaces:
+    def test_deterministic(self):
+        cfg = SynthFacesConfig(num_identities=3, image_size=16)
+        a = generate_synth_faces(2, cfg, split_seed=1)
+        b = generate_synth_faces(2, cfg, split_seed=1)
+        assert np.array_equal(a.x, b.x)
+
+    def test_shapes(self):
+        cfg = SynthFacesConfig(num_identities=5, image_size=16)
+        ds = generate_synth_faces(3, cfg)
+        assert ds.x.shape == (15, 3, 16, 16)
+        assert ds.num_classes == 5
+
+    def test_identities_distinct(self):
+        cfg = SynthFacesConfig(num_identities=4, image_size=16, noise=0.0,
+                               pose_jitter=0.0)
+        ds = generate_synth_faces(3, cfg)
+        means = np.stack([ds.x[ds.y == i].mean(axis=0).ravel()
+                          for i in range(4)])
+        d = np.linalg.norm(means[:, None] - means[None, :], axis=2)
+        assert d[~np.eye(4, dtype=bool)].min() > 0.3
+
+
+class TestBatching:
+    def test_iterate_covers_everything(self, rng):
+        x = np.arange(10).reshape(10, 1, 1, 1).astype(float)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in iterate_batches(x, y, 3):
+            assert len(xb) == len(yb)
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_deterministic(self, rng):
+        x = np.arange(8).reshape(8, 1, 1, 1).astype(float)
+        runs = []
+        for _ in range(2):
+            order = [yb.tolist() for _, yb in iterate_batches(
+                x, np.arange(8), 4, shuffle=True,
+                rng=np.random.default_rng(5))]
+            runs.append(order)
+        assert runs[0] == runs[1]
+
+    def test_stratified_sample(self, rng):
+        y = np.array([0] * 10 + [1] * 3 + [2] * 10)
+        idx = stratified_sample(y, 5, rng)
+        counts = np.bincount(y[idx], minlength=3)
+        assert counts.tolist() == [5, 3, 5]
+
+
+class TestTransforms:
+    def test_normalize_round_trip(self, rng):
+        x = rng.random((4, 3, 5, 5))
+        mean, std = channel_stats(x)
+        z = normalize(x, mean, std)
+        assert np.allclose(denormalize(z, mean, std), x)
+        assert np.allclose(z.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+
+    def test_flip_flips(self, rng):
+        x = rng.random((4, 1, 3, 3))
+        out = random_horizontal_flip(x, np.random.default_rng(0), p=1.0)
+        assert np.allclose(out, x[:, :, :, ::-1])
+
+    def test_flip_p_zero_identity(self, rng):
+        x = rng.random((4, 1, 3, 3))
+        assert np.allclose(random_horizontal_flip(x, rng, p=0.0), x)
+
+    def test_shift_preserves_shape(self, rng):
+        x = rng.random((3, 2, 6, 6))
+        assert random_shift(x, rng, 2).shape == x.shape
+
+    def test_additive_noise_clips(self, rng):
+        x = np.ones((2, 1, 4, 4))
+        out = additive_noise(x, rng, sigma=0.5)
+        assert out.max() <= 1.0
+
+    def test_augment_batch_pipeline(self, rng):
+        x = rng.random((4, 3, 8, 8)).astype(np.float32)
+        out = augment_batch(x, rng, flip=True, shift=1, noise=0.01)
+        assert out.shape == x.shape and out.dtype == x.dtype
+
+
+class TestAttackSetSelection:
+    def test_only_correct_samples_selected(self, tiny_dataset, tiny_model):
+        _, val = tiny_dataset
+        sel = select_attack_set(val, [tiny_model], per_class=3)
+        mask = correctly_classified_mask([tiny_model], sel.x, sel.y)
+        assert mask.all()
+
+    def test_per_class_cap(self, tiny_dataset, tiny_model):
+        _, val = tiny_dataset
+        sel = select_attack_set(val, [tiny_model], per_class=2)
+        assert (np.bincount(sel.y, minlength=val.num_classes) <= 2).all()
+
+    def test_multiple_models_intersection(self, tiny_dataset, tiny_model,
+                                          tiny_quantized):
+        _, val = tiny_dataset
+        sel = select_attack_set(val, [tiny_model, tiny_quantized], per_class=3)
+        assert correctly_classified_mask(
+            [tiny_model, tiny_quantized], sel.x, sel.y).all()
+
+    def test_impossible_selection_raises(self, tiny_dataset, fixed_logit_model):
+        _, val = tiny_dataset
+        # a model that's always wrong: constant logits favoring a class
+        # different from every label
+        logits = np.zeros((len(val), val.num_classes))
+        logits[np.arange(len(val)), (val.y + 1) % val.num_classes] = 10.0
+        wrong = fixed_logit_model(logits)
+        with pytest.raises(RuntimeError):
+            select_attack_set(val, [wrong], per_class=2)

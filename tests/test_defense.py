@@ -1,0 +1,58 @@
+"""Robust training (§5.5): the minimax defense hardens models."""
+
+import numpy as np
+import pytest
+
+from repro.defense import adversarial_fit, pgd_perturb, robust_accuracy
+from repro.models import build_model
+from repro.training import evaluate_accuracy, fit
+
+
+EPS = 32.0 / 255.0
+
+
+class TestPGDPerturb:
+    def test_budget_respected(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        adv = pgd_perturb(tiny_model, val.x[:8], val.y[:8], EPS, 4 / 255, 5)
+        assert np.abs(adv - val.x[:8]).max() <= EPS + 1e-6
+        assert adv.min() >= 0 and adv.max() <= 1
+
+    def test_increases_loss(self, tiny_model, tiny_dataset):
+        from repro.training import evaluate_loss
+        _, val = tiny_dataset
+        adv = pgd_perturb(tiny_model, val.x[:16], val.y[:16], EPS, 4 / 255, 5)
+        clean = evaluate_loss(tiny_model, val.x[:16], val.y[:16])
+        attacked = evaluate_loss(tiny_model, adv, val.y[:16])
+        assert attacked > clean
+
+
+class TestAdversarialFit:
+    @pytest.fixture(scope="class")
+    def robust_vs_standard(self, request):
+        train, val = request.getfixturevalue("tiny_dataset")
+        std = build_model("resnet", num_classes=6, width=4, seed=10)
+        fit(std, train.x, train.y, epochs=4, batch_size=32, lr=0.03, seed=2)
+        rob = build_model("resnet", num_classes=6, width=4, seed=10)
+        fit(rob, train.x, train.y, epochs=2, batch_size=32, lr=0.03, seed=2)
+        adversarial_fit(rob, train.x, train.y, epochs=2, batch_size=32,
+                        eps=EPS, attack_steps=3, seed=3)
+        return std, rob, val
+
+    def test_robust_model_more_robust(self, robust_vs_standard):
+        std, rob, val = robust_vs_standard
+        x, y = val.x[:30], val.y[:30]
+        acc_std = robust_accuracy(std, x, y, eps=EPS, alpha=4 / 255, steps=8)
+        acc_rob = robust_accuracy(rob, x, y, eps=EPS, alpha=4 / 255, steps=8)
+        assert acc_rob >= acc_std
+
+    def test_robust_model_still_classifies(self, robust_vs_standard):
+        _, rob, val = robust_vs_standard
+        assert evaluate_accuracy(rob, val.x, val.y) > 1.0 / 6 + 0.1
+
+    def test_robust_accuracy_below_clean(self, robust_vs_standard):
+        _, rob, val = robust_vs_standard
+        clean = evaluate_accuracy(rob, val.x[:30], val.y[:30])
+        robust = robust_accuracy(rob, val.x[:30], val.y[:30], eps=EPS,
+                                 alpha=4 / 255, steps=8)
+        assert robust <= clean + 1e-9

@@ -1,0 +1,111 @@
+"""Knowledge distillation and surrogate construction."""
+
+import numpy as np
+import pytest
+
+from repro.distillation import agreement, distill, distillation_loss, soften
+from repro.models import build_model
+from repro.nn import Tensor
+
+
+class TestSoften:
+    def test_high_temperature_flattens(self, rng):
+        z = rng.normal(size=(4, 6)) * 5
+        p1 = soften(z, 1.0)
+        p20 = soften(z, 20.0)
+        assert p20.max() < p1.max()
+        assert np.allclose(p20.sum(axis=1), 1.0)
+
+    def test_temperature_one_is_softmax(self, rng):
+        z = rng.normal(size=(3, 4))
+        e = np.exp(z - z.max(1, keepdims=True))
+        assert np.allclose(soften(z, 1.0), e / e.sum(1, keepdims=True))
+
+
+class TestDistillationLoss:
+    def test_zero_when_student_matches_teacher(self, rng):
+        z = rng.normal(size=(5, 4))
+        loss = distillation_loss(Tensor(z), z, temperature=2.0, alpha=1.0)
+        assert float(loss.data) < 1e-6
+
+    def test_positive_when_different(self, rng):
+        loss = distillation_loss(Tensor(rng.normal(size=(5, 4))),
+                                 rng.normal(size=(5, 4)))
+        assert float(loss.data) > 0
+
+    def test_alpha_blends_terms(self, rng):
+        s = Tensor(rng.normal(size=(4, 3)))
+        t = rng.normal(size=(4, 3))
+        full_soft = float(distillation_loss(s, t, alpha=1.0).data)
+        full_hard = float(distillation_loss(s, t, alpha=0.0).data)
+        mid = float(distillation_loss(s, t, alpha=0.5).data)
+        assert np.isclose(mid, 0.5 * full_soft + 0.5 * full_hard, rtol=1e-6)
+
+    def test_gradients_flow(self, rng):
+        s = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        distillation_loss(s, rng.normal(size=(4, 3))).backward()
+        assert s.grad is not None
+
+
+class TestDistill:
+    def test_student_learns_teacher(self, tiny_model, tiny_dataset):
+        train, val = tiny_dataset
+        student = build_model("resnet", num_classes=6, width=4, seed=42)
+        before = agreement(tiny_model, student, val.x)
+        distill(tiny_model, student, train.x, epochs=8, lr=3e-3,
+                temperature=2.0, alpha=0.5)
+        after = agreement(tiny_model, student, val.x)
+        assert after > before
+        assert after > 0.45
+
+    def test_agreement_bounds(self, tiny_model):
+        x = np.random.default_rng(0).random((10, 3, 12, 12)).astype(np.float32)
+        a = agreement(tiny_model, tiny_model, x)
+        assert a == 1.0
+
+
+class TestSurrogatePipelines:
+    def test_semi_blackbox_bundle(self, tiny_model, tiny_quantized,
+                                  tiny_dataset):
+        from repro.attacks import semi_blackbox_diva
+        from repro.data import select_attack_set
+        train, val = tiny_dataset
+        template = build_model("resnet", num_classes=6, width=4, seed=7)
+        bundle = semi_blackbox_diva(tiny_quantized, template, train.x[:80],
+                                    eps=32 / 255, alpha=4 / 255, steps=8,
+                                    distill_epochs=2)
+        assert bundle.surrogate_adapted is None
+        # extraction-seeded surrogate should imitate the adapted model well
+        assert agreement(bundle.surrogate_original, tiny_quantized,
+                         val.x) > 0.6
+        atk = select_attack_set(val, [tiny_model, tiny_quantized], per_class=2)
+        x_adv = bundle.attack.generate(atk.x, atk.y)
+        assert x_adv.shape == atk.x.shape
+        assert np.abs(x_adv - atk.x).max() <= 32 / 255 + 1e-6
+
+    def test_semi_blackbox_seeds_from_extraction(self, tiny_quantized,
+                                                 tiny_dataset):
+        from repro.attacks.surrogate import build_surrogate_original
+        train, _ = tiny_dataset
+        template = build_model("resnet", num_classes=6, width=4, seed=7)
+        surr = build_surrogate_original(tiny_quantized, template,
+                                        train.x[:40], distill_epochs=0)
+        # zero-epoch distillation: weights must equal the extraction
+        from repro.nn.layers import Conv2d, Linear
+        for name, mod in tiny_quantized.model.named_modules():
+            if isinstance(mod, (Conv2d, Linear)):
+                got = dict(surr.named_modules())[name].weight.data
+                want = mod.effective_weight().data
+                assert np.allclose(got, want, atol=1e-6)
+
+    def test_blackbox_bundle(self, tiny_model, tiny_quantized, tiny_dataset):
+        from repro.attacks import blackbox_diva
+        train, val = tiny_dataset
+        template = build_model("resnet", num_classes=6, width=4, seed=8)
+        bundle = blackbox_diva(tiny_quantized, template, train.x[:80],
+                               eps=32 / 255, alpha=4 / 255, steps=6,
+                               distill_epochs=2, qat_epochs=1)
+        assert bundle.surrogate_adapted is not None
+        # surrogate adapted is frozen and runs
+        out = bundle.surrogate_adapted(Tensor(val.x[:4]))
+        assert out.shape == (4, 6)

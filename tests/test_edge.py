@@ -1,0 +1,124 @@
+"""Integer edge engine: ops, compilation, parity with the QAT path."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_synth_digits
+from repro.edge import EdgeModel, compile_edge
+from repro.models import build_model
+from repro.nn import Tensor
+from repro.quantization import prepare_qat, qat_finetune
+from repro.quantization.affine import QuantParams, choose_qparams
+from repro.training import fit, predict_labels
+
+
+@pytest.fixture(scope="module")
+def lenet_pair():
+    """(float LeNet, frozen QAT LeNet, train set, val set) on digits."""
+    train = generate_synth_digits(40, image_size=16, split_seed=1)
+    val = generate_synth_digits(15, image_size=16, split_seed=2)
+    model = build_model("lenet", num_classes=10, image_size=16, seed=0)
+    fit(model, train.x, train.y, epochs=6, batch_size=32, lr=0.03, seed=1)
+    q = prepare_qat(model, weight_bits=8, act_bits=8, per_channel=True)
+    qat_finetune(q, train.x, train.y, epochs=1, batch_size=32, lr=0.002)
+    q.freeze()
+    return model, q, train, val
+
+
+class TestCompile:
+    def test_compiles_lenet(self, lenet_pair):
+        _, q, _, val = lenet_pair
+        edge = compile_edge(q, 10)
+        assert isinstance(edge, EdgeModel)
+        logits = edge.predict(val.x[:4])
+        assert logits.shape == (4, 10)
+
+    def test_rejects_unfrozen(self, lenet_pair):
+        model, _, train, _ = lenet_pair
+        q2 = prepare_qat(model)
+        from repro.quantization import calibrate
+        calibrate(q2, train.x[:32])
+        with pytest.raises(ValueError):
+            compile_edge(q2, 10)
+
+    def test_rejects_non_feedforward(self, tiny_quantized):
+        with pytest.raises(TypeError):
+            compile_edge(tiny_quantized, 6)   # ResNet has no edge_layers
+
+    def test_rejects_uninstrumented(self, lenet_pair):
+        from repro.quantization.qat import QATModel
+        model, _, _, _ = lenet_pair
+        bare = QATModel(model.copy_structure(), quantize_input=False)
+        with pytest.raises(ValueError):
+            compile_edge(bare, 10)
+
+
+class TestParity:
+    def test_high_agreement_with_qat(self, lenet_pair):
+        """The integer path must match the fake-quant path (TFLite-vs-QAT
+        parity) on essentially all inputs."""
+        _, q, _, val = lenet_pair
+        edge = compile_edge(q, 10)
+        pe = edge.predict(val.x).argmax(1)
+        pq = predict_labels(q, val.x)
+        assert (pe == pq).mean() >= 0.97
+
+    def test_logits_close_to_qat(self, lenet_pair):
+        _, q, _, val = lenet_pair
+        edge = compile_edge(q, 10)
+        le = edge.predict(val.x[:16])
+        lq = q(Tensor(val.x[:16])).data
+        # logits live on the final dequant grid; allow a few LSBs of the
+        # final scale for accumulated fixed-point rounding
+        final_scale = float(edge.ops[-1].qp.scale)
+        assert np.abs(le - lq).max() <= 3 * final_scale + 1e-7
+
+    def test_accuracy_close_to_qat(self, lenet_pair):
+        _, q, _, val = lenet_pair
+        edge = compile_edge(q, 10)
+        acc_e = (edge.predict(val.x).argmax(1) == val.y).mean()
+        from repro.training import evaluate_accuracy
+        acc_q = evaluate_accuracy(q, val.x, val.y)
+        assert abs(acc_e - acc_q) <= 0.05
+
+
+class TestEngineOps:
+    def test_quantize_input_grid(self):
+        from repro.edge.engine import QuantizeInput
+        qp = choose_qparams(np.float64(0), np.float64(1), -128, 127)
+        op = QuantizeInput(qp)
+        q = op(np.array([[[[0.0, 0.5, 1.0]]]]))
+        assert q.dtype == np.int32
+        assert q.min() >= -128 and q.max() <= 127
+
+    def test_qrelu_zeroes_negatives(self):
+        from repro.edge.engine import QReLU
+        in_qp = QuantParams(scale=np.float64(0.1), zero_point=np.float64(10),
+                            qmin=-128, qmax=127)
+        out_qp = QuantParams(scale=np.float64(0.1), zero_point=np.float64(-128),
+                             qmin=-128, qmax=127)
+        op = QReLU(in_qp, out_qp)
+        # q=10 is real 0.0; q=0 is real -1.0; q=20 is real +1.0
+        out = op(np.array([10, 0, 20], dtype=np.int32))
+        real = (out.astype(float) - (-128)) * 0.1
+        assert np.allclose(real, [0.0, 0.0, 1.0], atol=0.05)
+
+    def test_qmaxpool_is_integer_max(self):
+        from repro.edge.engine import QMaxPool2d
+        q = np.arange(16, dtype=np.int32).reshape(1, 1, 4, 4)
+        out = QMaxPool2d(2)(q)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_footprint_smaller_than_float(self, lenet_pair):
+        model, q, _, _ = lenet_pair
+        edge = compile_edge(q, 10)
+        from repro.quantization import model_size_bytes
+        assert edge.footprint_bytes() < model_size_bytes(model) / 2
+
+    def test_edge_model_tensor_protocol(self, lenet_pair):
+        _, q, _, val = lenet_pair
+        edge = compile_edge(q, 10)
+        out = edge(Tensor(val.x[:2]))
+        assert out.data.shape == (2, 10)
+        labels = predict_labels(edge, val.x[:4])
+        assert labels.shape == (4,)

@@ -1,0 +1,251 @@
+"""Experiment harness: config hashing, artifact cache, smoke runs of every
+table/figure module (integration tests of the whole stack)."""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ArtifactStore, ExperimentConfig, Pipeline,
+                               format_table, save_results)
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    """A smoke-scale pipeline with an isolated artifact store."""
+    cfg = ExperimentConfig.smoke()
+    store = ArtifactStore(str(tmp_path_factory.mktemp("artifacts")))
+    return cfg, Pipeline(cfg, store=store)
+
+
+class TestConfig:
+    def test_cache_key_stable(self):
+        cfg = ExperimentConfig.smoke()
+        assert cfg.cache_key("a") == cfg.cache_key("a")
+
+    def test_cache_key_varies_with_config(self):
+        a = ExperimentConfig.smoke()
+        b = dataclasses.replace(a, seed=99)
+        assert a.cache_key("x") != b.cache_key("x")
+
+    def test_cache_key_varies_with_path(self):
+        cfg = ExperimentConfig.smoke()
+        assert cfg.cache_key("a") != cfg.cache_key("b")
+
+
+class TestArtifactStore:
+    def test_builds_once(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"v": 42}
+        assert store.get_or_build("k", build)["v"] == 42
+        assert store.get_or_build("k", build)["v"] == 42
+        assert len(calls) == 1
+
+    def test_survives_process_cache_clear(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_build("k", lambda: np.arange(3))
+        store.clear_memory()
+        again = store.get_or_build("k", lambda: pytest.fail("rebuilt!"))
+        assert np.array_equal(again, np.arange(3))
+
+    def test_invalidate(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_build("k", lambda: 1)
+        store.invalidate("k")
+        assert store.get_or_build("k", lambda: 2) == 2
+
+    def test_model_round_trip(self, tmp_path, tiny_model, tiny_dataset):
+        from repro.training import predict_logits
+        _, val = tiny_dataset
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_build("m", lambda: tiny_model)
+        store.clear_memory()
+        loaded = store.get_or_build("m", lambda: pytest.fail("rebuilt!"))
+        assert np.allclose(predict_logits(loaded, val.x[:4]),
+                           predict_logits(tiny_model, val.x[:4]))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_save_results_json(self, tmp_path):
+        path = save_results("unit", {"x": np.float32(1.5),
+                                     "arr": np.arange(3)},
+                            results_dir=str(tmp_path))
+        import json
+        with open(path) as f:
+            data = json.load(f)
+        assert data["x"] == 1.5 and data["arr"] == [0, 1, 2]
+
+
+class TestPipeline:
+    def test_datasets_cached_in_memory(self, smoke):
+        _, pipe = smoke
+        a = pipe.datasets()
+        b = pipe.datasets()
+        assert a is b
+
+    def test_original_model_cached(self, smoke):
+        _, pipe = smoke
+        m1 = pipe.original("resnet")
+        m2 = pipe.original("resnet")
+        assert m1 is m2
+
+    def test_quantized_frozen(self, smoke):
+        _, pipe = smoke
+        q = pipe.quantized("resnet")
+        assert all(fq.frozen for _, fq in q.fake_quant_modules()
+                   if fq.observer.initialized)
+
+    def test_attack_set_correctness_protocol(self, smoke):
+        from repro.data import correctly_classified_mask
+        _, pipe = smoke
+        orig = pipe.original("resnet")
+        quant = pipe.quantized("resnet")
+        atk = pipe.attack_set([orig, quant], "unit")
+        assert correctly_classified_mask([orig, quant], atk.x, atk.y).all()
+
+    def test_pruned_is_sparse(self, smoke):
+        from repro.pruning import model_sparsity
+        cfg, pipe = smoke
+        pruned = pipe.pruned("resnet")
+        assert model_sparsity(pruned) >= cfg.sparsity - 0.1
+
+
+class TestExperimentModules:
+    """Each module runs end-to-end at smoke scale and emits sane payloads."""
+
+    def test_table1(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_table1
+        res = exp_table1.run(cfg, pipeline=pipe, verbose=False)
+        for arch in ("resnet", "mobilenet", "densenet"):
+            r = res["architectures"][arch]
+            assert 0 <= r["original_accuracy"] <= 1
+            assert 0 <= r["deviation_instability"] <= 1
+
+    def test_fig1_quadrants_sum(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig1
+        res = exp_fig1.run(cfg, pipeline=pipe, verbose=False)
+        for attack in ("PGD", "DIVA"):
+            q = res["quadrants"][attack]
+            assert np.isclose(sum(q.values()), 1.0)
+
+    def test_table2(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_table2
+        res = exp_table2.run(cfg, pipeline=pipe, include_pruning=False,
+                             verbose=False)
+        for arch in res["quantized"]:
+            assert 0 <= res["quantized"][arch]["diva_attack_only"] <= 1
+
+    def test_fig7_c_zero_weakest_attack(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig7
+        res = exp_fig7.run(cfg, pipeline=pipe, c_values=(0.0, 1.0),
+                           verbose=False)
+        for arch, r in res["per_arch"].items():
+            assert r["diva_attack_only"][0] <= r["diva_attack_only"][1] + 0.15
+
+    def test_fig2_boundary(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig2
+        res = exp_fig2.run(cfg, pipeline=pipe, n_images=2, resolution=5,
+                           verbose=False)
+        assert 0 <= res["random_plane_disagreement"] <= 1
+
+    def test_dssim(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_dssim
+        res = exp_dssim.run(cfg, pipeline=pipe, verbose=False)
+        for attack in ("PGD", "DIVA"):
+            assert res["per_attack"][attack]["max_linf"] <= cfg.eps + 1e-6
+            assert res["per_attack"][attack]["max_dssim"] < 0.5
+
+    def test_fig10_face(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig10
+        res = exp_fig10.run(cfg, pipeline=pipe, verbose=False)
+        assert 0 <= res["edge_accuracy"] <= 1
+        assert "top1" in res["diva"]
+
+    def test_fig4_pca(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig4
+        res = exp_fig4.run(cfg, pipeline=pipe, verbose=False)
+        assert res["n_a"] > 0
+        assert len(res["explained_variance_ratio"]) == 2
+
+    def test_fig6_grid(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig6
+        res = exp_fig6.run(cfg, pipeline=pipe, verbose=False)
+        for arch, r in res["per_arch"].items():
+            for attack in ("pgd", "diva", "semi_blackbox_diva",
+                           "blackbox_diva"):
+                assert 0 <= r[attack]["top1_success"] <= 1, (arch, attack)
+
+    def test_fig6_steps_curves(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig6
+        res = exp_fig6.run_steps(cfg, pipeline=pipe, verbose=False)
+        assert len(res["curves"]["diva"]) == cfg.steps
+        assert len(res["curves"]["pgd"]) == cfg.steps
+        # keep-best curves are non-decreasing
+        d = res["curves"]["diva"]
+        assert all(b >= a - 1e-9 for a, b in zip(d, d[1:]))
+
+    def test_sec54_baselines(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_sec54
+        res = exp_sec54.run(cfg, pipeline=pipe, verbose=False)
+        assert set(res["mean_top1"]) == {"pgd", "momentum_pgd", "cw"}
+
+    def test_sec55_defense(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_sec55
+        res = exp_sec55.run(cfg, pipeline=pipe, c_values=(1.0,),
+                            verbose=False)
+        assert "pgd" in res["attacks"] and "diva_c1.0" in res["attacks"]
+        for v in res["attacks"].values():
+            assert 0 <= v["robust_accuracy"] <= 1
+
+    def test_fig8_pruning(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_fig8
+        res = exp_fig8.run(cfg, pipeline=pipe, verbose=False)
+        for track in ("pruned", "pruned_quantized"):
+            for arch, r in res[track].items():
+                assert 0 <= r["diva"]["top1"] <= 1, (track, arch)
+
+    def test_targeted_face(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_targeted
+        res = exp_targeted.run(cfg, pipeline=pipe, n_targets=3,
+                               verbose=False)
+        assert res["targets_probed"] == 3
+        assert 0 <= res["mean_hit_rate"] <= 1

@@ -1,0 +1,129 @@
+"""Extended experiments: ablations, distilled adaptation, multiseed
+aggregation, report rendering."""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import ArtifactStore, ExperimentConfig, Pipeline
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    cfg = ExperimentConfig.smoke()
+    store = ArtifactStore(str(tmp_path_factory.mktemp("artifacts")))
+    return cfg, Pipeline(cfg, store=store)
+
+
+class TestAblations:
+    def test_bits_sweep(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_ablations
+        res = exp_ablations.run_bits(cfg, pipeline=pipe, bit_widths=(8, 4),
+                                     verbose=False)
+        assert set(res["per_bits"]) == {8, 4}
+        for bits, r in res["per_bits"].items():
+            assert 0 <= r["instability"] <= 1
+            assert 0 <= r["diva_top1"] <= 1
+
+    def test_eps_sweep(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_ablations
+        res = exp_ablations.run_eps(cfg, pipeline=pipe,
+                                    eps_values=(8 / 255, 32 / 255),
+                                    verbose=False)
+        assert "8/255" in res["per_eps"] and "32/255" in res["per_eps"]
+        # larger budget cannot reduce PGD's raw attack success
+        assert res["per_eps"]["32/255"]["pgd_attack_only"] >= \
+            res["per_eps"]["8/255"]["pgd_attack_only"] - 0.05
+
+    def test_keep_best(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_ablations
+        res = exp_ablations.run_keep_best(cfg, pipeline=pipe, verbose=False)
+        v = res["variants"]
+        assert v["keep-best"]["diva_top1"] >= \
+            v["final-iterate"]["diva_top1"] - 1e-9
+
+    def test_per_channel(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_ablations
+        res = exp_ablations.run_per_channel(cfg, pipeline=pipe, verbose=False)
+        assert set(res["variants"]) == {"per-tensor", "per-channel"}
+
+
+class TestDistilledAdaptation:
+    def test_runs_and_reports(self, smoke, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        cfg, pipe = smoke
+        from repro.experiments import exp_distilled
+        res = exp_distilled.run(cfg, pipeline=pipe, verbose=False)
+        for arch, r in res["per_arch"].items():
+            assert 0 <= r["student_accuracy"] <= 1
+            assert 0 <= r["diva_top1"] <= 1
+            # a half-width student diverges much more than quantization
+            assert r["instability"] >= 0
+
+
+class TestMultiseed:
+    def test_aggregates_scalars(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        from repro.experiments.multiseed import run_across_seeds
+        calls = []
+
+        def fake_experiment(cfg, pipeline=None, verbose=True):
+            calls.append(cfg.seed)
+            return {"metric": {"a": cfg.seed + 1.0, "b": 2.0},
+                    "table": "ignored"}
+        res = run_across_seeds(fake_experiment, ExperimentConfig.smoke(),
+                               seeds=(0, 1, 2), name="unit")
+        assert calls == [0, 1, 2]
+        assert np.isclose(res.mean["metric.a"], 2.0)
+        assert np.isclose(res.std["metric.b"], 0.0)
+        assert "metric.a" in res.table()
+
+    def test_saves_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        import importlib
+        from repro.experiments import multiseed, tables
+        importlib.reload(tables)
+        importlib.reload(multiseed)
+        multiseed.run_across_seeds(
+            lambda cfg, pipeline=None, verbose=True: {"x": 1.0},
+            ExperimentConfig.smoke(), seeds=(0,), name="unit2")
+        assert os.path.exists(os.path.join(str(tmp_path),
+                                           "multiseed_unit2.json"))
+
+
+class TestReport:
+    def test_renders_from_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        payload = {"architectures": {"resnet": {
+            "original_accuracy": 0.7, "quantized_accuracy": 0.68,
+            "orig_correct_quant_incorrect": 10,
+            "orig_incorrect_quant_correct": 5,
+            "deviation_instability": 0.09, "total_instability": 0.1,
+            "accuracy_ratio": 0.97, "n": 100}}}
+        with open(os.path.join(str(tmp_path), "table1.json"), "w") as f:
+            json.dump(payload, f)
+        import importlib
+        from repro.experiments import report
+        importlib.reload(report)
+        text = report.render_report()
+        assert "Table 1" in text
+        assert "70.0%" in text
+
+    def test_handles_missing_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "empty"))
+        import importlib
+        from repro.experiments import report
+        importlib.reload(report)
+        text = report.render_report()
+        assert "EXPERIMENTS" in text   # header renders even with no data

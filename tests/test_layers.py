@@ -1,0 +1,139 @@
+"""Layer behaviours: conv/linear hooks, batch norm, pooling wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
+                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
+                      ReLU, Tensor)
+from repro.quantization import FakeQuantize
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        lin = Linear(5, 3, rng=rng)
+        assert lin(Tensor(np.ones((4, 5)))).shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        lin = Linear(5, 3, rng=rng, bias=False)
+        assert lin.bias is None
+        zero_out = lin(Tensor(np.zeros((1, 5))))
+        assert np.allclose(zero_out.data, 0)
+
+    def test_weight_mask_zeroes_columns(self, rng):
+        lin = Linear(4, 2, rng=rng, bias=False)
+        mask = np.zeros_like(lin.weight.data)
+        lin.set_weight_mask(mask)
+        assert np.allclose(lin(Tensor(np.ones((2, 4)))).data, 0)
+
+    def test_mask_shape_validated(self, rng):
+        lin = Linear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            lin.set_weight_mask(np.ones((3, 3)))
+
+    def test_mask_removable(self, rng):
+        lin = Linear(4, 2, rng=rng)
+        lin.set_weight_mask(np.zeros_like(lin.weight.data))
+        lin.set_weight_mask(None)
+        assert lin.weight_mask is None
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert conv(Tensor(np.ones((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_depthwise_shape(self, rng):
+        conv = Conv2d(4, 4, 3, padding=1, groups=4, rng=rng)
+        assert conv(Tensor(np.ones((1, 4, 6, 6)))).shape == (1, 4, 6, 6)
+        assert conv.weight.shape == (4, 1, 3, 3)
+
+    def test_weight_fake_quant_hook_applied(self, rng):
+        conv = Conv2d(2, 2, 3, padding=1, rng=rng, bias=False)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        before = conv(x).data.copy()
+        conv.weight_fake_quant = FakeQuantize.for_weights(bits=2)
+        conv.train()
+        after = conv(x).data
+        assert not np.allclose(before, after)   # 2-bit grid is very coarse
+
+    def test_activation_post_process_hook(self, rng):
+        conv = Conv2d(2, 2, 3, padding=1, rng=rng)
+        conv.activation_post_process = FakeQuantize.for_activations(bits=3)
+        conv.train()
+        out = conv(Tensor(rng.normal(size=(1, 2, 5, 5))))
+        # 3-bit activations: at most 8 distinct values
+        assert len(np.unique(out.data)) <= 8
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self, rng):
+        bn = BatchNorm2d(3)
+        bn.train()
+        out = bn(Tensor(rng.normal(2.0, 3.0, size=(16, 3, 6, 6))))
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        bn.train()
+        x = rng.normal(5.0, 1.0, size=(8, 2, 4, 4))
+        bn(Tensor(x))
+        assert (bn.running_mean > 1.0).all()   # moved toward batch mean 5
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.train()
+        for _ in range(50):
+            bn(Tensor(rng.normal(1.0, 2.0, size=(16, 2, 4, 4))))
+        bn.eval()
+        out = bn(Tensor(rng.normal(1.0, 2.0, size=(64, 2, 4, 4))))
+        assert abs(out.data.mean()) < 0.15
+
+    def test_eval_deterministic(self, rng):
+        bn = BatchNorm2d(2)
+        bn.train()
+        bn(Tensor(rng.normal(size=(4, 2, 3, 3))))
+        bn.eval()
+        x = Tensor(rng.normal(size=(2, 2, 3, 3)))
+        assert np.allclose(bn(x).data, bn(x).data)
+
+    def test_batchnorm1d(self, rng):
+        bn = BatchNorm1d(4)
+        bn.train()
+        out = bn(Tensor(rng.normal(3.0, 2.0, size=(32, 4))))
+        assert np.allclose(out.data.mean(axis=0), 0, atol=1e-6)
+
+    def test_gradients_flow(self, rng):
+        bn = BatchNorm2d(2)
+        bn.train()
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestMisc:
+    def test_relu_layer(self):
+        assert np.allclose(ReLU()(Tensor(np.array([-1.0, 2.0]))).data, [0, 2])
+
+    def test_flatten(self, rng):
+        assert Flatten()(Tensor(rng.normal(size=(2, 3, 4, 5)))).shape == (2, 60)
+
+    def test_pool_wrappers(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        assert MaxPool2d(2)(x).shape == (1, 2, 3, 3)
+        assert AvgPool2d(3, stride=3)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        assert Identity()(x) is x
+
+    def test_dropout_modes(self):
+        d = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((50, 50)))
+        d.train()
+        assert (d(x).data == 0).any()
+        d.eval()
+        assert np.allclose(d(x).data, 1.0)

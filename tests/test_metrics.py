@@ -1,0 +1,157 @@
+"""Metrics: §5.1 success definitions, instability, image quality."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (InstabilityReport, batch_dssim, dssim,
+                           evaluate_attack, instability_report,
+                           natural_confidence_delta, prediction_agreement,
+                           psnr, ssim, targeted_reach)
+
+
+def _onehot_logits(labels, n_classes, scale=10.0):
+    z = np.zeros((len(labels), n_classes))
+    z[np.arange(len(labels)), labels] = scale
+    return z
+
+
+class TestSuccessMetrics:
+    def test_top1_definition(self, fixed_logit_model):
+        y = np.array([0, 0, 0, 0])
+        # orig predictions: correct, correct, wrong, wrong
+        orig = fixed_logit_model(_onehot_logits([0, 0, 1, 1], 3))
+        # adapted:          wrong,  correct, wrong, correct
+        adapted = fixed_logit_model(_onehot_logits([2, 0, 2, 0], 3))
+        x = np.zeros((4, 1, 2, 2))
+        rep = evaluate_attack(orig, adapted, x, y)
+        assert rep.top1_success_rate == 0.25       # only sample 0
+        assert rep.attack_only_success_rate == 0.5  # samples 0, 2
+        assert rep.quadrant_both_correct == 0.25
+        assert rep.quadrant_both_incorrect == 0.25
+        assert rep.quadrant_orig_incorrect_adapted_correct == 0.25
+        assert rep.n == 4
+
+    def test_quadrants_sum_to_one(self, fixed_logit_model, rng):
+        y = rng.integers(0, 4, size=10)
+        orig = fixed_logit_model(rng.normal(size=(10, 4)))
+        adapted = fixed_logit_model(rng.normal(size=(10, 4)))
+        rep = evaluate_attack(orig, adapted, np.zeros((10, 1, 2, 2)), y)
+        total = (rep.quadrant_both_correct
+                 + rep.quadrant_orig_correct_adapted_incorrect
+                 + rep.quadrant_both_incorrect
+                 + rep.quadrant_orig_incorrect_adapted_correct)
+        assert np.isclose(total, 1.0)
+
+    def test_topk_requires_exclusion_from_orig_topk(self, fixed_logit_model):
+        y = np.array([0])
+        # orig: class 0 best, then 1, 2, 3...; adapted predicts class 1
+        orig_logits = np.array([[9.0, 8.0, 7.0, 6.0, 5.0, 4.0]])
+        adapted_logits = _onehot_logits([1], 6)
+        rep = evaluate_attack(fixed_logit_model(orig_logits),
+                              fixed_logit_model(adapted_logits),
+                              np.zeros((1, 1, 2, 2)), y, topk=5)
+        assert rep.top1_success_rate == 1.0
+        assert rep.top5_success_rate == 0.0       # class 1 is in orig top-5
+        rep2 = evaluate_attack(fixed_logit_model(orig_logits),
+                               fixed_logit_model(_onehot_logits([5], 6)),
+                               np.zeros((1, 1, 2, 2)), y, topk=5)
+        assert rep2.top5_success_rate == 1.0      # class 5 is orig's 6th
+
+    def test_confidence_delta_sign(self, fixed_logit_model):
+        y = np.array([0])
+        orig = fixed_logit_model(np.array([[5.0, 0.0]]))    # confident correct
+        adapted = fixed_logit_model(np.array([[0.0, 5.0]]))  # confident wrong
+        rep = evaluate_attack(orig, adapted, np.zeros((1, 1, 2, 2)), y)
+        assert rep.confidence_delta > 0.9
+
+    def test_evasion_cost(self, fixed_logit_model):
+        y = np.array([0, 0])
+        orig = fixed_logit_model(_onehot_logits([1, 0], 3))
+        adapted = fixed_logit_model(_onehot_logits([1, 1], 3))
+        rep = evaluate_attack(orig, adapted, np.zeros((2, 1, 2, 2)), y)
+        # attack-only 100%, evasive 50% -> cost 50%
+        assert np.isclose(rep.evasion_cost, 0.5)
+
+    def test_natural_confidence_delta(self, fixed_logit_model):
+        y = np.array([0])
+        a = fixed_logit_model(np.array([[2.0, 0.0]]))
+        b = fixed_logit_model(np.array([[1.0, 0.0]]))
+        d = natural_confidence_delta(a, b, np.zeros((1, 1, 2, 2)), y)
+        assert d > 0
+
+    def test_targeted_reach(self, fixed_logit_model):
+        y = np.array([0, 0, 1])
+        adapted = fixed_logit_model(_onehot_logits([2, 0, 2], 3))
+        reach = targeted_reach(adapted, np.zeros((3, 1, 2, 2)), y, target=2)
+        assert np.isclose(reach, 2 / 3)
+
+
+class TestInstability:
+    def test_report_counts(self, fixed_logit_model):
+        y = np.array([0, 0, 0, 0, 1])
+        orig = fixed_logit_model(_onehot_logits([0, 0, 1, 1, 1], 3))
+        adapted = fixed_logit_model(_onehot_logits([0, 1, 0, 1, 0], 3))
+        rep = instability_report(orig, adapted, np.zeros((5, 1, 2, 2)), y)
+        assert rep.original_accuracy == 0.6
+        assert rep.adapted_accuracy == 0.4
+        assert rep.orig_correct_adapted_incorrect == 2   # samples 1 and 4
+        assert rep.orig_incorrect_adapted_correct == 1   # sample 2
+        assert rep.deviation_instability == 3 / 5
+        assert rep.instability == 3 / 5   # sample 3 agrees (both wrong same)
+
+    def test_both_wrong_differently_counts_in_total(self, fixed_logit_model):
+        y = np.array([0])
+        orig = fixed_logit_model(_onehot_logits([1], 3))
+        adapted = fixed_logit_model(_onehot_logits([2], 3))
+        rep = instability_report(orig, adapted, np.zeros((1, 1, 2, 2)), y)
+        assert rep.deviation_instability == 0.0
+        assert rep.instability == 1.0
+
+    def test_agreement(self, fixed_logit_model):
+        a = fixed_logit_model(_onehot_logits([0, 1, 2], 3))
+        b = fixed_logit_model(_onehot_logits([0, 1, 0], 3))
+        assert np.isclose(prediction_agreement(a, b, np.zeros((3, 1, 2, 2))),
+                          2 / 3)
+
+
+class TestImageQuality:
+    def test_ssim_identical_is_one(self, rng):
+        img = rng.random((3, 16, 16))
+        assert np.isclose(ssim(img, img), 1.0)
+        assert np.isclose(dssim(img, img), 0.0)
+
+    def test_ssim_decreases_with_noise(self, rng):
+        img = rng.random((16, 16))
+        s_small = ssim(img, np.clip(img + rng.normal(0, 0.01, img.shape), 0, 1))
+        s_big = ssim(img, np.clip(img + rng.normal(0, 0.3, img.shape), 0, 1))
+        assert s_big < s_small <= 1.0
+
+    def test_ssim_symmetric(self, rng):
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        assert np.isclose(ssim(a, b), ssim(b, a))
+
+    def test_ssim_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_batch_dssim(self, rng):
+        a = rng.random((3, 1, 8, 8))
+        d = batch_dssim(a, a)
+        assert d.shape == (3,)
+        assert np.allclose(d, 0.0)
+
+    def test_psnr_infinite_for_identical(self, rng):
+        img = rng.random((4, 4))
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_ordering(self, rng):
+        img = rng.random((8, 8))
+        near = img + 0.001
+        far = img + 0.2
+        assert psnr(img, near) > psnr(img, far)
+
+    def test_small_perturbation_small_dssim(self, rng):
+        """An eps-bounded adversarial-style perturbation keeps DSSIM tiny."""
+        img = rng.random((3, 16, 16))
+        pert = np.clip(img + rng.choice([-1, 1], img.shape) * (8 / 255), 0, 1)
+        assert dssim(img, pert) < 0.05

@@ -1,0 +1,138 @@
+"""Model zoo: shapes, determinism, feature extraction, registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (available_models, build_model, register_model)
+from repro.nn import Tensor
+
+
+ARCH_KWARGS = {
+    "resnet": dict(num_classes=7, width=4, seed=0),
+    "mobilenet": dict(num_classes=7, width=4, seed=0),
+    "densenet": dict(num_classes=7, growth=3, width=4, seed=0),
+}
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
+    def test_forward_shape(self, arch, rng):
+        m = build_model(arch, **ARCH_KWARGS[arch])
+        m.eval()
+        out = m(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float64)))
+        assert out.shape == (2, 7)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
+    def test_features_shape(self, arch, rng):
+        m = build_model(arch, **ARCH_KWARGS[arch])
+        m.eval()
+        f = m.features(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert f.shape == (2, m.feature_dim)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
+    def test_deterministic_per_seed(self, arch, rng):
+        m1 = build_model(arch, **ARCH_KWARGS[arch])
+        m2 = build_model(arch, **ARCH_KWARGS[arch])
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        m1.eval(); m2.eval()
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
+    def test_different_seed_differs(self, arch, rng):
+        kw = dict(ARCH_KWARGS[arch])
+        m1 = build_model(arch, **kw)
+        kw["seed"] = 1
+        m2 = build_model(arch, **kw)
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        m1.eval(); m2.eval()
+        assert not np.allclose(m1(x).data, m2(x).data)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
+    def test_gradients_reach_all_parameters(self, arch, rng):
+        from repro.nn import functional as F
+        m = build_model(arch, **ARCH_KWARGS[arch])
+        m.train()
+        logits = m(Tensor(rng.normal(size=(4, 3, 16, 16))))
+        F.cross_entropy(logits, np.array([0, 1, 2, 3])).backward()
+        missing = [n for n, p in m.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_resnet_shortcut_projection(self, rng):
+        m = build_model("resnet", num_classes=3, width=4,
+                        blocks=[1, 1], seed=0)
+        # second stage halves resolution and doubles channels -> projection
+        assert m.stages[1].short_conv is not None
+        m.eval()
+        assert m(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 3)
+
+    def test_mobilenet_uses_depthwise(self):
+        m = build_model("mobilenet", num_classes=3, width=4, seed=0)
+        dw = m.blocks[0].dw
+        assert dw.groups == dw.in_channels
+
+    def test_densenet_channel_growth(self):
+        m = build_model("densenet", num_classes=3, growth=2, width=4,
+                        block_layers=[2, 2], seed=0)
+        assert m.blocks[0].out_channels == 4 + 2 * 2
+
+    def test_grayscale_input_channels(self, rng):
+        m = build_model("resnet", num_classes=4, width=4, in_channels=1, seed=0)
+        m.eval()
+        assert m(Tensor(rng.normal(size=(2, 1, 16, 16)))).shape == (2, 4)
+
+
+class TestLeNetAndVGGFace:
+    def test_lenet_shapes(self, rng):
+        m = build_model("lenet", num_classes=10, image_size=28, seed=0)
+        m.eval()
+        assert m(Tensor(rng.normal(size=(2, 1, 28, 28)))).shape == (2, 10)
+        assert m.features(Tensor(rng.normal(size=(2, 1, 28, 28)))).shape == (2, 42)
+
+    def test_lenet_edge_layers_cover_forward(self, rng):
+        m = build_model("lenet", num_classes=5, image_size=16, seed=0)
+        m.eval()
+        x = Tensor(rng.normal(size=(2, 1, 16, 16)))
+        out = x
+        for layer in m.edge_layers():
+            out = layer(out)
+        assert np.allclose(out.data, m(x).data)
+
+    def test_vggface_shapes(self, rng):
+        m = build_model("vggface", num_identities=9, image_size=32,
+                        width=4, embed_dim=16, seed=0)
+        m.eval()
+        assert m(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 9)
+        assert m.features(Tensor(rng.normal(size=(1, 3, 32, 32)))).shape == (1, 16)
+
+    def test_vggface_edge_layers_cover_forward(self, rng):
+        m = build_model("vggface", num_identities=4, image_size=16,
+                        width=4, embed_dim=8, seed=0)
+        m.eval()
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        out = x
+        for layer in m.edge_layers():
+            out = layer(out)
+        assert np.allclose(out.data, m(x).data)
+
+    def test_vggface_size_validation(self):
+        with pytest.raises(ValueError):
+            build_model("vggface", num_identities=4, image_size=30)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        for expected in ("resnet", "mobilenet", "densenet", "lenet", "vggface"):
+            assert expected in names
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("resnet", lambda: None)
+
+    def test_case_insensitive(self):
+        m = build_model("ResNet", num_classes=3, width=4, seed=0)
+        assert m.num_classes == 3

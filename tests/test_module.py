@@ -1,0 +1,161 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BatchNorm2d, Conv2d, Linear, Module, ModuleList,
+                      Parameter, ReLU, Sequential, Tensor)
+
+
+class Small(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = Linear(4, 3, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.act(self.fc(x))
+
+
+class TestRegistration:
+    def test_parameters_registered(self):
+        m = Small()
+        names = [n for n, _ in m.named_parameters()]
+        assert "fc.weight" in names and "fc.bias" in names
+
+    def test_buffers_registered(self):
+        m = Small()
+        assert "counter" in dict(m.named_buffers())
+
+    def test_reassignment_replaces_registration(self):
+        m = Small()
+        m.fc = Linear(4, 2, rng=np.random.default_rng(1))
+        assert dict(m.named_parameters())["fc.weight"].shape == (2, 4)
+
+    def test_plain_attr_drops_stale_module(self):
+        m = Small()
+        m.act = None
+        assert "act" not in m._modules
+
+    def test_num_parameters(self):
+        m = Small()
+        assert m.num_parameters() == 4 * 3 + 3
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        m = Sequential(Small(), Small())
+        m.eval()
+        assert all(not child.training for child in m.modules())
+        m.train()
+        assert all(child.training for child in m.modules())
+
+    def test_zero_grad(self):
+        m = Small()
+        out = m(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert m.fc.weight.grad is not None
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        m1, m2 = Small(), Small()
+        m2.fc.weight.data += 1.0
+        m2.load_state_dict(m1.state_dict())
+        assert np.allclose(m1.fc.weight.data, m2.fc.weight.data)
+
+    def test_state_dict_copies(self):
+        m = Small()
+        state = m.state_dict()
+        state["fc.weight"] += 99
+        assert not np.allclose(m.fc.weight.data, state["fc.weight"])
+
+    def test_strict_missing_key_raises(self):
+        m = Small()
+        state = m.state_dict()
+        del state["fc.bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        m = Small()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_non_strict_ignores_mismatch(self):
+        m = Small()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        m.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        m = Small()
+        state = m.state_dict()
+        state["fc.weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_buffers_in_state(self):
+        m = Small()
+        m.set_buffer("counter", np.array([7.0]))
+        m2 = Small()
+        m2.load_state_dict(m.state_dict())
+        assert m2.counter[0] == 7.0
+
+    def test_batchnorm_running_stats_round_trip(self, rng):
+        bn = BatchNorm2d(3)
+        bn.train()
+        bn(Tensor(rng.normal(size=(4, 3, 5, 5))))
+        bn2 = BatchNorm2d(3)
+        bn2.load_state_dict(bn.state_dict())
+        assert np.allclose(bn.running_mean, bn2.running_mean)
+        assert np.allclose(bn.running_var, bn2.running_var)
+
+
+class TestCopyStructure:
+    def test_copy_is_independent(self):
+        m = Small()
+        clone = m.copy_structure()
+        clone.fc.weight.data += 5
+        assert not np.allclose(m.fc.weight.data, clone.fc.weight.data)
+
+    def test_copy_preserves_values(self):
+        m = Small()
+        clone = m.copy_structure()
+        for (n1, p1), (n2, p2) in zip(m.named_parameters(),
+                                      clone.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        s = Sequential(Linear(4, 8, rng=rng), ReLU(),
+                       Linear(8, 2, rng=rng))
+        out = s(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(s) == 3
+        assert isinstance(s[1], ReLU)
+
+    def test_sequential_append(self, rng):
+        s = Sequential(Linear(4, 4, rng=rng))
+        s.append(ReLU())
+        assert len(s) == 2
+        assert [type(m).__name__ for m in s] == ["Linear", "ReLU"]
+
+    def test_modulelist_registration(self, rng):
+        ml = ModuleList([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(ml) == 2
+        outer = Module()
+        outer.blocks = ml
+        assert len([n for n, _ in outer.named_parameters()]) == 4
+
+    def test_set_buffer_unknown_raises(self):
+        m = Small()
+        with pytest.raises(KeyError):
+            m.set_buffer("nope", np.zeros(1))

@@ -1,0 +1,112 @@
+"""Optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CosineLR, Parameter, SGD, StepLR, Tensor
+
+
+def quadratic_loss(p: Parameter):
+    """f(p) = ||p - 3||^2 with its gradient set on p."""
+    p.grad = 2 * (p.data - 3.0)
+    return float(((p.data - 3.0) ** 2).sum())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            quadratic_loss(p)
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = Parameter(np.zeros(4))
+            opt = SGD([p], lr=0.02, momentum=mom)
+            for _ in range(30):
+                quadratic_loss(p)
+                opt.step()
+            losses[mom] = float(((p.data - 3.0) ** 2).sum())
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert (np.abs(p.data) < 10.0).all()
+
+    def test_nesterov_runs(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.05, momentum=0.9, nesterov=True)
+        for _ in range(100):
+            quadratic_loss(p)
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=1.0).step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_loss(p)
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        # with bias correction the very first step has magnitude ~lr
+        assert np.isclose(abs(p.data[0]), 0.1, rtol=1e-3)
+
+    def test_decoupled_weight_decay(self):
+        p = Parameter(np.full(2, 5.0))
+        opt = Adam([p], lr=0.01, weight_decay=0.1, decoupled=True)
+        p.grad = np.zeros(2)
+        opt.step()
+        assert (p.data < 5.0).all()
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            lrs.append(opt.lr)
+            sched.step()
+        assert lrs == [1.0, 1.0, 0.1, 0.1]
+
+    def test_cosine_lr_endpoints(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.0)
+        assert opt.lr == 1.0
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineLR(opt, t_max=8)
+        prev = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= prev + 1e-12
+            prev = opt.lr

@@ -1,0 +1,59 @@
+"""Property-based tests for attack invariants (projection, masks,
+pruning)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks import linf_distance, project_linf
+from repro.pruning import magnitude_mask
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+images = hnp.arrays(
+    dtype=np.float64, shape=st.tuples(st.integers(1, 3), st.integers(1, 2),
+                                      st.integers(2, 6), st.integers(2, 6)),
+    elements=st.floats(0, 1, allow_nan=False, width=64))
+
+
+@given(images, st.floats(0.01, 0.5))
+@settings(**SETTINGS)
+def test_projection_always_in_ball_and_range(x, eps):
+    rng = np.random.default_rng(0)
+    adv = x + rng.normal(0, 1.0, size=x.shape)
+    proj = project_linf(adv, x, eps)
+    assert linf_distance(proj, x).max() <= eps + 1e-9
+    assert proj.min() >= 0.0 and proj.max() <= 1.0
+
+
+@given(images, st.floats(0.01, 0.5))
+@settings(**SETTINGS)
+def test_projection_idempotent(x, eps):
+    rng = np.random.default_rng(1)
+    adv = x + rng.normal(0, 0.3, size=x.shape)
+    once = project_linf(adv, x, eps)
+    twice = project_linf(once, x, eps)
+    assert np.allclose(once, twice)
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(2, 20),
+                                                    st.integers(2, 20)),
+                  elements=st.floats(-10, 10, allow_nan=False, width=64)),
+       st.floats(0.0, 0.95))
+@settings(**SETTINGS)
+def test_mask_sparsity_never_exceeds_target_by_much(w, sparsity):
+    mask = magnitude_mask(w, sparsity)
+    realized = 1.0 - mask.mean()
+    # floor(k) semantics: realized sparsity <= requested
+    assert realized <= sparsity + 1e-9
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.integers(4, 100),
+                  elements=st.floats(-10, 10, allow_nan=False, width=64)))
+@settings(**SETTINGS)
+def test_mask_keeps_largest_magnitudes(w):
+    mask = magnitude_mask(w, 0.5)
+    kept = np.abs(w[mask == 1])
+    dropped = np.abs(w[mask == 0])
+    if len(kept) and len(dropped):
+        assert kept.min() >= dropped.max() - 1e-12

@@ -1,0 +1,81 @@
+"""Property-based tests for quantization invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import (choose_qparams, dequantize,
+                                fake_quantize_array, int_range, quantize,
+                                quantize_multiplier, requantize)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+values = hnp.arrays(
+    dtype=np.float64, shape=st.integers(1, 200),
+    elements=st.floats(-100, 100, allow_nan=False, width=64))
+
+
+@given(values, st.integers(2, 8), st.booleans())
+@settings(**SETTINGS)
+def test_roundtrip_error_bounded_in_range(x, bits, symmetric):
+    qmin, qmax = int_range(bits, signed=True)
+    qp = choose_qparams(x.min(), x.max(), qmin, qmax, symmetric=symmetric)
+    err = np.abs(x - fake_quantize_array(x, qp))
+    # symmetric: error <= scale/2 everywhere in range; asymmetric adds
+    # up to scale/2 of zero-point rounding at the boundary
+    bound = float(np.max(qp.scale)) * (0.5 if symmetric else 1.0)
+    assert err.max() <= bound + 1e-9
+
+
+@given(values, st.integers(2, 8))
+@settings(**SETTINGS)
+def test_quantize_within_integer_bounds(x, bits):
+    qmin, qmax = int_range(bits, signed=True)
+    qp = choose_qparams(x.min(), x.max(), qmin, qmax)
+    q = quantize(x * 10, qp)     # even out-of-range reals stay clamped
+    assert q.min() >= qmin and q.max() <= qmax
+
+
+@given(values)
+@settings(**SETTINGS)
+def test_zero_is_exact(x):
+    qp = choose_qparams(x.min(), x.max(), -128, 127)
+    assert fake_quantize_array(np.zeros(1), qp)[0] == 0.0
+
+
+@given(values)
+@settings(**SETTINGS)
+def test_fake_quant_idempotent(x):
+    qp = choose_qparams(x.min(), x.max(), -128, 127)
+    once = fake_quantize_array(x, qp)
+    twice = fake_quantize_array(once, qp)
+    assert np.allclose(once, twice)
+
+
+@given(values)
+@settings(**SETTINGS)
+def test_quantize_monotone(x):
+    assume(len(x) >= 2)
+    qp = choose_qparams(x.min(), x.max(), -128, 127)
+    order = np.argsort(x)
+    q = quantize(x, qp)[order]
+    assert (np.diff(q) >= 0).all()
+
+
+@given(st.floats(1e-6, 1e4, allow_nan=False))
+@settings(**SETTINGS)
+def test_multiplier_roundtrip(m):
+    m0, shift = quantize_multiplier(m)
+    approx = m0 / (1 << 31) * 2.0 ** (-shift)
+    assert np.isclose(approx, m, rtol=1e-6)
+
+
+@given(hnp.arrays(dtype=np.int64, shape=st.integers(1, 100),
+                  elements=st.integers(-10 ** 6, 10 ** 6)),
+       st.floats(1e-4, 10.0, allow_nan=False))
+@settings(**SETTINGS)
+def test_requantize_within_one_of_float(acc, mult):
+    m0, shift = quantize_multiplier(mult)
+    got = requantize(acc, m0, shift)
+    want = np.round(acc.astype(np.float64) * mult)
+    assert np.abs(got - want).max() <= 1

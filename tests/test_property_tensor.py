@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+
+from .conftest import numerical_gradient
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+small_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-5, 5, allow_nan=False, width=64),
+)
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_add_commutative(a):
+    t = Tensor(a)
+    assert np.allclose((t + t).data, (2.0 * t).data)
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_relu_idempotent(a):
+    t = Tensor(a)
+    once = t.relu()
+    twice = once.relu()
+    assert np.array_equal(once.data, twice.data)
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_exp_log_inverse(a):
+    t = Tensor(np.abs(a) + 0.1)
+    assert np.allclose(t.log().exp().data, t.data, rtol=1e-9)
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_sum_grad_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(a))
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_mean_grad_uniform(a):
+    t = Tensor(a, requires_grad=True)
+    t.mean().backward()
+    assert np.allclose(t.grad, np.full(a.shape, 1.0 / a.size))
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_mul_gradient_numerically(a):
+    t = Tensor(a.copy(), requires_grad=True)
+    (t * t).sum().backward()
+    assert np.allclose(t.grad, 2 * a, atol=1e-8)
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(
+    st.integers(1, 4), st.integers(1, 4)),
+    elements=st.floats(-3, 3, allow_nan=False, width=64)))
+@settings(**SETTINGS)
+def test_softmax_properties(z):
+    from repro.nn import functional as F
+    p = F.softmax(Tensor(z), axis=-1).data
+    assert np.allclose(p.sum(axis=-1), 1.0)
+    assert (p >= 0).all() and (p <= 1).all()
+    # shift invariance
+    p2 = F.softmax(Tensor(z + 100.0), axis=-1).data
+    assert np.allclose(p, p2, atol=1e-9)
+
+
+@given(small_floats, st.floats(-2, 2), st.floats(0.1, 2))
+@settings(**SETTINGS)
+def test_clip_bounds(a, lo, width):
+    hi = lo + width
+    out = Tensor(a).clip(lo, hi).data
+    assert (out >= lo - 1e-12).all() and (out <= hi + 1e-12).all()
+
+
+@given(small_floats)
+@settings(**SETTINGS)
+def test_reshape_preserves_content(a):
+    t = Tensor(a)
+    flat = t.reshape(a.size)
+    assert np.array_equal(np.sort(flat.data), np.sort(a.ravel()))
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_random_graph_gradcheck(seed):
+    """Random small computation graphs pass numerical gradient checks."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(2, 3))
+    b = rng.normal(size=(3,))
+
+    def build(at, bt):
+        x = at * bt + at
+        x = x.tanh() + (x * x + 0.5).sqrt()
+        return (x.sum(axis=1) * 0.5).max()
+
+    at = Tensor(a.copy(), requires_grad=True)
+    bt = Tensor(b.copy(), requires_grad=True)
+    build(at, bt).backward()
+    f = lambda: float(build(Tensor(at.data), Tensor(bt.data)).data)
+    assert np.abs(numerical_gradient(f, at.data) - at.grad).max() < 1e-5
+    assert np.abs(numerical_gradient(f, bt.data) - bt.grad).max() < 1e-5

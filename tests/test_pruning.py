@@ -1,0 +1,138 @@
+"""Pruning: masks, schedules, finetune pipelines, prune-then-quantize."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import Tensor
+from repro.pruning import (ConstantSchedule, PolynomialDecaySchedule,
+                           apply_masks, global_masks, layerwise_masks,
+                           magnitude_mask, model_sparsity, prunable_layers,
+                           prune_finetune, prune_model, prune_then_quantize)
+
+
+class TestMagnitudeMask:
+    def test_target_sparsity_hit(self, rng):
+        w = rng.normal(size=(100, 100))
+        mask = magnitude_mask(w, 0.7)
+        assert np.isclose(1 - mask.mean(), 0.7, atol=0.001)
+
+    def test_keeps_largest(self, rng):
+        w = np.array([[0.1, -5.0], [0.01, 2.0]])
+        mask = magnitude_mask(w, 0.5)
+        assert mask.tolist() == [[0.0, 1.0], [0.0, 1.0]]
+
+    def test_zero_sparsity_keeps_all(self, rng):
+        w = rng.normal(size=(5, 5))
+        assert magnitude_mask(w, 0.0).all()
+
+    def test_invalid_sparsity(self, rng):
+        with pytest.raises(ValueError):
+            magnitude_mask(np.ones(4), 1.0)
+        with pytest.raises(ValueError):
+            magnitude_mask(np.ones(4), -0.1)
+
+    def test_ties_resolved_deterministically(self):
+        w = np.ones(10)   # all-equal magnitudes
+        mask = magnitude_mask(w, 0.5)
+        assert mask.sum() == 5
+        assert np.array_equal(mask, magnitude_mask(w, 0.5))
+
+
+class TestMaskScopes:
+    def test_layerwise_each_layer_at_target(self, tiny_model):
+        masks = layerwise_masks(tiny_model, 0.5)
+        for name, mask in masks.items():
+            assert abs((1 - mask.mean()) - 0.5) < 0.1
+
+    def test_global_overall_at_target(self, tiny_model):
+        masks = global_masks(tiny_model, 0.5)
+        total = sum(m.size for m in masks.values())
+        zeros = sum((m == 0).sum() for m in masks.values())
+        assert abs(zeros / total - 0.5) < 0.02
+
+    def test_apply_masks_unknown_layer_raises(self, tiny_model):
+        with pytest.raises(KeyError):
+            apply_masks(tiny_model.copy_structure(), {"nope": np.ones(1)})
+
+    def test_model_sparsity_reporting(self, tiny_model):
+        clone = prune_model(tiny_model, sparsity=0.6)
+        assert abs(model_sparsity(clone) - 0.6) < 0.05
+
+
+class TestSchedules:
+    def test_polynomial_endpoints(self):
+        s = PolynomialDecaySchedule(0.0, 0.8, begin_step=10, end_step=110)
+        assert s.sparsity_at(0) == 0.0
+        assert s.sparsity_at(10) == 0.0
+        assert np.isclose(s.sparsity_at(110), 0.8)
+        assert np.isclose(s.sparsity_at(99999), 0.8)
+
+    def test_polynomial_monotone(self):
+        s = PolynomialDecaySchedule(0.1, 0.9, 0, 100)
+        vals = [s.sparsity_at(t) for t in range(0, 101, 10)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_polynomial_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialDecaySchedule(0.9, 0.5, 0, 10)
+        with pytest.raises(ValueError):
+            PolynomialDecaySchedule(0.0, 0.5, 10, 10)
+
+    def test_constant(self):
+        s = ConstantSchedule(0.4)
+        assert s.sparsity_at(0) == 0.4 and s.sparsity_at(1000) == 0.4
+
+
+class TestPrunePipelines:
+    def test_prune_model_leaves_source_untouched(self, tiny_model):
+        prune_model(tiny_model, 0.5)
+        assert all(m.weight_mask is None for _, m in prunable_layers(tiny_model))
+
+    def test_prune_model_changes_predictions_somewhat(self, tiny_model,
+                                                      tiny_dataset):
+        _, val = tiny_dataset
+        pruned = prune_model(tiny_model, 0.67)
+        a = tiny_model(Tensor(val.x[:8])).data
+        b = pruned(Tensor(val.x[:8])).data
+        assert not np.allclose(a, b)
+
+    def test_prune_finetune_recovers_accuracy(self, tiny_model, tiny_dataset):
+        from repro.training import evaluate_accuracy
+        train, val = tiny_dataset
+        oneshot = prune_model(tiny_model, 0.67)
+        oneshot.eval()
+        tuned = prune_finetune(tiny_model, train.x, train.y, sparsity=0.67,
+                               epochs=2, batch_size=32)
+        acc_oneshot = evaluate_accuracy(oneshot, val.x, val.y)
+        acc_tuned = evaluate_accuracy(tuned, val.x, val.y)
+        assert acc_tuned >= acc_oneshot - 0.05
+
+    def test_prune_finetune_keeps_sparsity(self, tiny_model, tiny_dataset):
+        train, _ = tiny_dataset
+        tuned = prune_finetune(tiny_model, train.x, train.y, sparsity=0.6,
+                               epochs=1, batch_size=32)
+        assert model_sparsity(tuned) >= 0.55
+
+    def test_gradual_schedule_path(self, tiny_model, tiny_dataset):
+        train, _ = tiny_dataset
+        sched = PolynomialDecaySchedule(0.0, 0.6, begin_step=0, end_step=3)
+        tuned = prune_finetune(tiny_model, train.x, train.y, epochs=1,
+                               batch_size=32, schedule=sched)
+        assert model_sparsity(tuned) >= 0.55
+
+    def test_prune_then_quantize_preserves_zeros(self, tiny_model,
+                                                 tiny_dataset):
+        train, _ = tiny_dataset
+        pruned = prune_finetune(tiny_model, train.x, train.y, sparsity=0.67,
+                                epochs=1, batch_size=32)
+        pq = prune_then_quantize(pruned, train.x, train.y, qat_epochs=1)
+        from repro.nn.layers import Conv2d, Linear
+        for _, mod in pq.model.named_modules():
+            if isinstance(mod, (Conv2d, Linear)) and mod.weight_mask is not None:
+                eff = mod.effective_weight().data
+                assert (eff[mod.weight_mask == 0] == 0).all()
+
+    def test_unknown_scope_raises(self, tiny_model):
+        with pytest.raises(ValueError):
+            prune_model(tiny_model, 0.5, scope="bogus")

@@ -1,0 +1,294 @@
+"""Quantization: affine math, observers, fake-quant STE, QAT/PTQ,
+extraction."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.quantization import (FakeQuantize, HistogramObserver,
+                                MinMaxObserver, MovingAverageMinMaxObserver,
+                                PerChannelMinMaxObserver, QATModel,
+                                QuantParams, choose_qparams, dequantize,
+                                export_quantized_layers, fake_quant_ste,
+                                fake_quantize_array, int_range,
+                                model_size_bytes, post_training_quantize,
+                                prepare_qat, qat_finetune, quantization_error,
+                                quantize, quantize_multiplier,
+                                reconstruct_float_model, requantize)
+
+from .conftest import numerical_gradient
+
+
+class TestAffine:
+    def test_int_range(self):
+        assert int_range(8, True) == (-128, 127)
+        assert int_range(8, False) == (0, 255)
+        assert int_range(4, True) == (-8, 7)
+        with pytest.raises(ValueError):
+            int_range(1, True)
+
+    def test_asymmetric_qparams_cover_range(self):
+        qp = choose_qparams(np.float64(-1.0), np.float64(3.0), -128, 127)
+        lo = (qp.qmin - qp.zero_point) * qp.scale
+        hi = (qp.qmax - qp.zero_point) * qp.scale
+        # zero-point rounding can shave up to scale/2 off either end
+        half = float(qp.scale) / 2
+        assert lo <= -1.0 + half and hi >= 3.0 - half
+
+    def test_symmetric_zero_point_is_zero(self):
+        qp = choose_qparams(np.float64(-2.0), np.float64(1.0), -128, 127,
+                            symmetric=True)
+        assert qp.zero_point == 0
+
+    def test_zero_always_representable(self, rng):
+        qp = choose_qparams(np.float64(0.5), np.float64(3.0), -128, 127)
+        assert quantization_error(np.zeros(3), qp) < 1e-9
+
+    def test_round_trip_error_bounded(self, rng):
+        x = rng.uniform(-1, 2, size=1000)
+        qp = choose_qparams(x.min(), x.max(), -128, 127)
+        err = np.abs(x - fake_quantize_array(x, qp))
+        # grid spacing scale; zero-point rounding adds up to scale/2 at
+        # the range boundary -> total bound is one full scale
+        assert err.max() <= float(qp.scale) + 1e-12
+
+    def test_quantize_clips_out_of_range(self):
+        qp = choose_qparams(np.float64(-1.0), np.float64(1.0), -128, 127)
+        q = quantize(np.array([100.0, -100.0]), qp)
+        assert q.tolist() == [127, -128]
+
+    def test_per_channel_shapes(self, rng):
+        w = rng.normal(size=(4, 3, 3, 3))
+        mins = w.reshape(4, -1).min(axis=1)
+        maxs = w.reshape(4, -1).max(axis=1)
+        qp = choose_qparams(mins, maxs, -8, 7, symmetric=True, axis=0)
+        assert qp.scale.shape == (4,)
+        deq = dequantize(quantize(w, qp), qp)
+        assert deq.shape == w.shape
+        per_ch_err = np.abs(w - deq).reshape(4, -1).max(axis=1)
+        assert (per_ch_err <= qp.scale / 2 + 1e-12).all()
+
+    def test_multiplier_decomposition(self):
+        for m in (0.0003, 0.12, 0.5, 0.99, 1.7, 300.0):
+            m0, shift = quantize_multiplier(m)
+            assert (1 << 30) <= m0 < (1 << 31)
+            approx = m0 / (1 << 31) * 2.0 ** (-shift)
+            assert np.isclose(approx, m, rtol=1e-8)
+        with pytest.raises(ValueError):
+            quantize_multiplier(0.0)
+
+    def test_requantize_matches_float(self, rng):
+        acc = rng.integers(-10000, 10000, size=500)
+        real = 0.0371
+        m0, shift = quantize_multiplier(real)
+        got = requantize(acc, m0, shift)
+        want = np.round(acc * real)
+        assert np.abs(got - want).max() <= 1
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self, rng):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-5.0, 0.5]))
+        assert obs.min_val == -5.0 and obs.max_val == 2.0
+
+    def test_moving_average_smooths(self):
+        obs = MovingAverageMinMaxObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 10.0]))
+        obs.observe(np.array([0.0, 20.0]))
+        assert obs.max_val == 15.0   # 0.5*10 + 0.5*20
+
+    def test_per_channel_reduction(self, rng):
+        obs = PerChannelMinMaxObserver(axis=0)
+        w = rng.normal(size=(4, 10))
+        obs.observe(w)
+        assert obs.min_val.shape == (4,)
+        assert np.allclose(obs.max_val, w.max(axis=1))
+
+    def test_uninitialized_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().compute_qparams()
+
+    def test_reset(self):
+        obs = MinMaxObserver()
+        obs.observe(np.ones(3))
+        obs.reset()
+        assert not obs.initialized
+
+    def test_histogram_clips_outliers(self, rng):
+        obs = HistogramObserver(coverage=0.98)
+        data = rng.normal(size=5000)
+        data[0] = 1000.0          # a single wild outlier
+        obs.observe(data)
+        assert obs.max_val < 100.0
+
+    def test_histogram_widens_range(self, rng):
+        obs = HistogramObserver()
+        obs.observe(rng.uniform(0, 1, 500))
+        obs.observe(rng.uniform(5, 6, 500))
+        assert obs.max_val > 4.0
+
+
+class TestFakeQuant:
+    def test_forward_snaps_to_grid(self, rng):
+        x = rng.normal(size=100)
+        qp = choose_qparams(x.min(), x.max(), -8, 7)
+        out = fake_quant_ste(Tensor(x), qp)
+        assert len(np.unique(out.data)) <= 16
+
+    def test_ste_gradient_mask(self):
+        qp = QuantParams(scale=np.float64(0.1), zero_point=np.float64(0),
+                         qmin=-8, qmax=7)
+        x = Tensor(np.array([0.0, 0.5, 100.0, -100.0]), requires_grad=True)
+        fake_quant_ste(x, qp).sum().backward()
+        # inside range -> gradient 1; clipped -> 0
+        assert x.grad.tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_module_observes_in_train_only(self, rng):
+        fq = FakeQuantize.for_activations()
+        fq.train()
+        fq(Tensor(rng.normal(size=10)))
+        lo1 = fq.observer.min_val
+        fq.eval()
+        fq(Tensor(rng.normal(size=10) * 100))
+        assert fq.observer.min_val == lo1
+
+    def test_freeze_pins_grid(self, rng):
+        fq = FakeQuantize.for_activations()
+        fq.train()
+        fq(Tensor(rng.normal(size=100)))
+        fq.freeze()
+        qp1 = fq.qparams()
+        fq.train()
+        fq(Tensor(rng.normal(size=100) * 50))
+        assert fq.qparams().scale == qp1.scale
+
+    def test_unfreeze_reenables(self, rng):
+        fq = FakeQuantize.for_activations()
+        fq.train()
+        fq(Tensor(rng.normal(size=10)))
+        fq.freeze()
+        fq.unfreeze()
+        assert not fq.frozen
+
+    def test_eval_before_observation_is_identity(self, rng):
+        fq = FakeQuantize.for_activations()
+        fq.eval()
+        x = Tensor(rng.normal(size=5))
+        assert np.allclose(fq(x).data, x.data)
+
+    def test_disabled_fake_quant_passthrough(self, rng):
+        fq = FakeQuantize.for_activations()
+        fq.fake_quant_enabled = False
+        fq.train()
+        x = Tensor(rng.normal(size=5))
+        assert np.allclose(fq(x).data, x.data)
+
+
+class TestQAT:
+    def test_prepare_instruments_layers(self, tiny_model):
+        q = prepare_qat(tiny_model)
+        from repro.nn.layers import Conv2d, Linear
+        for _, mod in q.model.named_modules():
+            if isinstance(mod, (Conv2d, Linear)):
+                assert mod.weight_fake_quant is not None
+                assert mod.activation_post_process is not None
+
+    def test_prepare_does_not_touch_source(self, tiny_model):
+        before = {n: p.data.copy() for n, p in tiny_model.named_parameters()}
+        q = prepare_qat(tiny_model)
+        for n, p in tiny_model.named_parameters():
+            assert np.array_equal(before[n], p.data)
+        assert tiny_model.stem.weight_fake_quant is None
+
+    def test_qat_accuracy_close_to_float(self, tiny_model, tiny_quantized,
+                                         tiny_dataset):
+        from repro.training import evaluate_accuracy
+        _, val = tiny_dataset
+        acc_f = evaluate_accuracy(tiny_model, val.x, val.y)
+        acc_q = evaluate_accuracy(tiny_quantized, val.x, val.y)
+        assert acc_q >= acc_f - 0.15     # int4: modest degradation allowed
+
+    def test_freeze_marks_all(self, tiny_quantized):
+        for _, fq in tiny_quantized.fake_quant_modules():
+            if fq.observer.initialized:
+                assert fq.frozen
+
+    def test_frozen_model_deterministic(self, tiny_quantized, tiny_dataset):
+        _, val = tiny_dataset
+        a = tiny_quantized(Tensor(val.x[:4])).data
+        b = tiny_quantized(Tensor(val.x[:4])).data
+        assert np.array_equal(a, b)
+
+    def test_qat_model_differentiable(self, tiny_quantized, tiny_dataset):
+        """The property §6 relies on: gradients flow through the adapted
+        model's STE to the input."""
+        _, val = tiny_dataset
+        x = Tensor(val.x[:2], requires_grad=True)
+        tiny_quantized(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0
+
+    def test_features_passthrough(self, tiny_quantized, tiny_dataset):
+        _, val = tiny_dataset
+        f = tiny_quantized.features(Tensor(val.x[:2]))
+        assert f.shape[0] == 2
+
+
+class TestPTQ:
+    def test_ptq_produces_frozen_model(self, tiny_model, tiny_dataset):
+        train, val = tiny_dataset
+        q = post_training_quantize(tiny_model, train.x[:64])
+        assert isinstance(q, QATModel)
+        for _, fq in q.fake_quant_modules():
+            if fq.observer.initialized:
+                assert fq.frozen
+
+    def test_ptq_accuracy_reasonable(self, tiny_model, tiny_dataset):
+        from repro.training import evaluate_accuracy
+        train, val = tiny_dataset
+        q = post_training_quantize(tiny_model, train.x[:64])
+        acc_f = evaluate_accuracy(tiny_model, val.x, val.y)
+        acc_q = evaluate_accuracy(q, val.x, val.y)
+        assert acc_q >= acc_f - 0.2
+
+
+class TestExtraction:
+    def test_export_layer_inventory(self, tiny_quantized):
+        layers = export_quantized_layers(tiny_quantized)
+        from repro.nn.layers import Conv2d, Linear
+        n_expected = sum(1 for _, m in tiny_quantized.model.named_modules()
+                         if isinstance(m, (Conv2d, Linear)))
+        assert len(layers) == n_expected
+        for rec in layers:
+            assert rec.q_weight.dtype == np.int32
+            assert rec.q_weight.min() >= rec.weight_qparams.qmin
+            assert rec.q_weight.max() <= rec.weight_qparams.qmax
+
+    def test_reconstruction_matches_effective_weights(self, tiny_model,
+                                                      tiny_quantized):
+        """§4.3: dequantized extraction lands exactly on the adapted
+        model's effective (fake-quantized) weights."""
+        layers = export_quantized_layers(tiny_quantized)
+        rebuilt = reconstruct_float_model(tiny_model, layers)
+        for name, mod in tiny_quantized.model.named_modules():
+            from repro.nn.layers import Conv2d, Linear
+            if isinstance(mod, (Conv2d, Linear)):
+                eff = mod.effective_weight().data
+                got = dict(rebuilt.named_modules())[name].weight.data
+                assert np.allclose(got, eff, atol=1e-6)
+
+    def test_reconstruction_shape_mismatch_raises(self, tiny_quantized):
+        from repro.models import build_model
+        wrong = build_model("resnet", num_classes=6, width=8, seed=0)
+        layers = export_quantized_layers(tiny_quantized)
+        with pytest.raises(ValueError):
+            reconstruct_float_model(wrong, layers)
+
+    def test_model_size_accounting(self, tiny_model):
+        full = model_size_bytes(tiny_model)
+        quant = model_size_bytes(tiny_model, quantized_bits=8)
+        assert quant < full
+        # conv/linear weights dominate, so int8 should be ~4x smaller
+        assert quant < full / 2

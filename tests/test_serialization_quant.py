@@ -1,0 +1,117 @@
+"""Serialization of adapted models and edge artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.edge import compile_edge, load_edge_model, save_edge_model
+from repro.models import build_model
+from repro.nn import Tensor
+from repro.quantization import load_qat, prepare_qat, qat_finetune, save_qat
+from repro.training import predict_logits
+
+
+class TestQATSerialization:
+    def test_round_trip_predictions(self, tiny_quantized, tiny_dataset,
+                                    tmp_path):
+        _, val = tiny_dataset
+        path = str(tmp_path / "adapted.npz")
+        save_qat(tiny_quantized, path)
+        loaded = load_qat(
+            lambda: build_model("resnet", num_classes=6, width=4, seed=0),
+            path)
+        a = predict_logits(tiny_quantized, val.x[:16])
+        b = predict_logits(loaded, val.x[:16])
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_round_trip_preserves_frozen_grids(self, tiny_quantized,
+                                               tmp_path):
+        path = str(tmp_path / "adapted.npz")
+        save_qat(tiny_quantized, path)
+        loaded = load_qat(
+            lambda: build_model("resnet", num_classes=6, width=4, seed=0),
+            path)
+        orig_fq = dict(tiny_quantized.fake_quant_modules())
+        for name, fq in loaded.fake_quant_modules():
+            src = orig_fq[name]
+            assert fq.frozen == src.frozen
+            if src.frozen:
+                assert np.allclose(np.asarray(fq.qparams().scale),
+                                   np.asarray(src.qparams().scale))
+
+    def test_round_trip_preserves_bit_widths(self, tiny_quantized, tmp_path):
+        path = str(tmp_path / "adapted.npz")
+        save_qat(tiny_quantized, path)
+        loaded = load_qat(
+            lambda: build_model("resnet", num_classes=6, width=4, seed=0),
+            path)
+        assert loaded.weight_bits == tiny_quantized.weight_bits
+        assert loaded.act_bits == tiny_quantized.act_bits
+
+    def test_architecture_mismatch_raises(self, tiny_quantized, tmp_path):
+        path = str(tmp_path / "adapted.npz")
+        save_qat(tiny_quantized, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_qat(lambda: build_model("resnet", num_classes=6, width=8,
+                                         seed=0), path)
+
+    def test_unfrozen_model_round_trip(self, tiny_model, tiny_dataset,
+                                       tmp_path):
+        from repro.quantization import calibrate
+        train, val = tiny_dataset
+        q = prepare_qat(tiny_model)
+        calibrate(q, train.x[:32])           # observed but not frozen
+        path = str(tmp_path / "calibrated.npz")
+        save_qat(q, path)
+        loaded = load_qat(
+            lambda: build_model("resnet", num_classes=6, width=4, seed=0),
+            path)
+        a = predict_logits(q, val.x[:8])
+        b = predict_logits(loaded, val.x[:8])
+        assert np.allclose(a, b, atol=1e-5)
+
+
+@pytest.fixture(scope="module")
+def edge_artifact(tmp_path_factory):
+    from repro.data import generate_synth_digits
+    from repro.training import fit
+    train = generate_synth_digits(40, image_size=16, split_seed=1)
+    val = generate_synth_digits(10, image_size=16, split_seed=2)
+    model = build_model("lenet", num_classes=10, image_size=16, seed=0)
+    fit(model, train.x, train.y, epochs=3, batch_size=32, lr=0.03)
+    q = prepare_qat(model, per_channel=True)
+    qat_finetune(q, train.x, train.y, epochs=1, batch_size=32, lr=0.002)
+    q.freeze()
+    edge = compile_edge(q, 10)
+    path = str(tmp_path_factory.mktemp("edge") / "model.npz")
+    save_edge_model(edge, path)
+    return edge, path, val
+
+
+class TestEdgeSerialization:
+    def test_round_trip_bit_exact(self, edge_artifact):
+        edge, path, val = edge_artifact
+        loaded = load_edge_model(path)
+        assert np.array_equal(edge.predict(val.x), loaded.predict(val.x))
+
+    def test_program_metadata(self, edge_artifact):
+        edge, path, _ = edge_artifact
+        loaded = load_edge_model(path)
+        assert loaded.num_classes == edge.num_classes
+        assert len(loaded.ops) == len(edge.ops)
+
+    def test_weights_stored_as_int8(self, edge_artifact):
+        _, path, _ = edge_artifact
+        with np.load(path) as npz:
+            weight_keys = [k for k in npz.files if k.startswith("w")]
+            assert weight_keys
+            for k in weight_keys:
+                assert npz[k].dtype == np.int8
+
+    def test_artifact_smaller_than_float_state(self, edge_artifact,
+                                               tmp_path):
+        edge, path, _ = edge_artifact
+        import os
+        # compare against a float32 dump of equivalent tensor volume
+        n_weights = sum(op.q_weight.size for op in edge.ops
+                        if hasattr(op, "q_weight"))
+        assert os.path.getsize(path) < n_weights * 4

@@ -1,0 +1,239 @@
+"""Autograd engine: forward values, gradients, graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, set_default_dtype, stack, where
+from repro.nn.tensor import _unbroadcast
+
+from .conftest import numerical_gradient
+
+
+class TestForwardValues:
+    def test_add_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_broadcast(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + 2.0).data, a + 2.0)
+        assert np.allclose((2.0 * Tensor(a)).data, 2.0 * a)
+        assert np.allclose((1.0 - Tensor(a)).data, 1.0 - a)
+        assert np.allclose((1.0 / Tensor(np.abs(a) + 1)).data, 1.0 / (np.abs(a) + 1))
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_reductions(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        t = Tensor(a)
+        assert np.allclose(t.sum().data, a.sum())
+        assert np.allclose(t.sum(axis=1).data, a.sum(axis=1))
+        assert np.allclose(t.mean(axis=(0, 2)).data, a.mean(axis=(0, 2)))
+        assert np.allclose(t.max(axis=2).data, a.max(axis=2))
+        assert np.allclose(t.var(axis=1).data, a.var(axis=1))
+
+    def test_elementwise_math(self, rng):
+        a = rng.uniform(0.1, 2.0, size=(4, 4))
+        t = Tensor(a)
+        assert np.allclose(t.exp().data, np.exp(a))
+        assert np.allclose(t.log().data, np.log(a))
+        assert np.allclose(t.sqrt().data, np.sqrt(a))
+        assert np.allclose(t.tanh().data, np.tanh(a))
+        assert np.allclose(t.sigmoid().data, 1 / (1 + np.exp(-a)))
+        assert np.allclose(t.relu().data, np.maximum(a, 0))
+        assert np.allclose(t.abs().data, np.abs(a))
+
+    def test_shape_ops(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        t = Tensor(a)
+        assert t.reshape(6, 4).shape == (6, 4)
+        assert t.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert t.flatten().shape == (2, 12)
+        assert Tensor(rng.normal(size=(3, 4))).T.shape == (4, 3)
+
+    def test_pad2d(self, rng):
+        a = rng.normal(size=(1, 2, 3, 3))
+        out = Tensor(a).pad2d((1, 2, 0, 1))
+        assert out.shape == (1, 2, 6, 4)
+        assert np.allclose(out.data[:, :, 1:4, 0:3], a)
+        assert out.data[:, :, 0, :].sum() == 0
+
+    def test_getitem_and_gather(self, rng):
+        a = rng.normal(size=(4, 5))
+        t = Tensor(a)
+        assert np.allclose(t[1:3].data, a[1:3])
+        idx = np.array([0, 4, 2, 1])
+        assert np.allclose(t.gather_rows(idx).data, a[np.arange(4), idx])
+
+    def test_clip(self):
+        t = Tensor(np.array([-2.0, 0.5, 3.0]))
+        assert np.allclose(t.clip(-1, 1).data, [-1, 0.5, 1])
+
+    def test_concat_stack_where(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        assert np.allclose(concat([Tensor(a), Tensor(b)], axis=0).data,
+                           np.concatenate([a, b], axis=0))
+        assert np.allclose(stack([Tensor(a), Tensor(b)], axis=1).data,
+                           np.stack([a, b], axis=1))
+        cond = a > 0
+        assert np.allclose(where(cond, Tensor(a), Tensor(b)).data,
+                           np.where(cond, a, b))
+
+
+class TestGradients:
+    def check(self, build, *shapes, tol=1e-6, seed=0):
+        """Numerically verify gradients of scalar build(*tensors)."""
+        rng = np.random.default_rng(seed)
+        arrays = [rng.normal(size=s) for s in shapes]
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+        out = build(*tensors)
+        out.backward()
+        for t in tensors:
+            f = lambda t=t: float(build(*[Tensor(u.data) for u in tensors]).data)
+            ng = numerical_gradient(f, t.data)
+            assert np.abs(ng - t.grad).max() < tol, "gradient mismatch"
+
+    def test_add_mul_chain(self):
+        self.check(lambda a, b: ((a + b) * a - b / (b * b + 2)).sum(),
+                   (3, 4), (3, 4))
+
+    def test_broadcast_grads(self):
+        self.check(lambda a, b: (a * b).sum(), (3, 4), (4,))
+        self.check(lambda a, b: (a + b).sum(), (2, 3, 4), (1, 4))
+
+    def test_matmul_grads(self):
+        self.check(lambda a, b: (a @ b).sum(), (3, 4), (4, 5))
+
+    def test_matvec_grads(self):
+        self.check(lambda a, b: (a @ b).sum(), (3, 4), (4,))
+
+    def test_reduction_grads(self):
+        self.check(lambda a: a.sum(axis=1).max(axis=0).sum(), (3, 4), tol=1e-5)
+        self.check(lambda a: a.mean(axis=(0, 1)).sum(), (3, 4))
+        self.check(lambda a: a.var(axis=0).sum(), (5, 3), tol=1e-5)
+
+    def test_unary_grads(self):
+        self.check(lambda a: (a.tanh() * a.sigmoid() + (a * a + 1).log()
+                              + (a * a + 0.1).sqrt()).sum(), (4, 3), tol=1e-5)
+
+    def test_pow_grads(self):
+        self.check(lambda a: ((a * a + 1.0) ** 1.5).sum(), (3, 3), tol=1e-5)
+
+    def test_maximum_minimum_grads(self):
+        self.check(lambda a, b: (a.maximum(b) + a.minimum(b * 0.5)).sum(),
+                   (4, 4), (4, 4), tol=1e-5)
+
+    def test_shape_op_grads(self):
+        self.check(lambda a: a.reshape(6, 2).transpose(1, 0).sum(axis=1).max(),
+                   (3, 4), tol=1e-5)
+
+    def test_getitem_grad(self):
+        self.check(lambda a: (a[1:3] * a[1:3]).sum(), (5, 4))
+
+    def test_gather_rows_grad(self):
+        idx = np.array([2, 0, 1])
+        self.check(lambda a: (a.gather_rows(idx) ** 2).sum(), (3, 4))
+
+    def test_concat_grad(self):
+        self.check(lambda a, b: (concat([a, b], axis=1) ** 2).sum(),
+                   (2, 3), (2, 2))
+
+    def test_where_grad(self):
+        cond = np.array([[True, False], [False, True]])
+        self.check(lambda a, b: (where(cond, a, b) ** 2).sum(), (2, 2), (2, 2))
+
+    def test_pad2d_grad(self):
+        self.check(lambda a: (a.pad2d((1, 1, 1, 1)) ** 2).sum(), (1, 1, 3, 3))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a   # dy/da = 2a + 1 = 5
+        out.backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 3
+        (b + c).backward()     # d/da (2a + 3a) = 5
+        assert np.allclose(a.grad, [5.0])
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 3
+        out.backward(np.full((2, 2), 2.0))
+        assert np.allclose(a.grad, np.full((2, 2), 6.0))
+
+    def test_backward_shape_check(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward(np.ones(3))
+
+    def test_no_grad_tensors_skip_graph(self):
+        a = Tensor(np.ones(3))
+        b = a * 2 + 1
+        assert not b.requires_grad
+        assert b._parents == ()
+
+    def test_detach_cuts_tape(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = (a * 2).detach()
+        c = b * 3
+        assert not c.requires_grad
+
+    def test_deep_graph_no_recursion_error(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 0.001
+        out.backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * a).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert Tensor(np.ones(2, dtype=np.int32)).dtype == np.float64
+
+    def test_float32_policy_casts_everything(self):
+        set_default_dtype("float32")
+        assert Tensor(np.ones(2, dtype=np.float64)).dtype == np.float32
+        assert (Tensor(np.ones(2)) * 2.0).dtype == np.float32
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("int8")
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self, rng):
+        g = rng.normal(size=(3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_sums_added_leading_dims(self, rng):
+        g = rng.normal(size=(5, 3, 4))
+        assert np.allclose(_unbroadcast(g, (3, 4)), g.sum(axis=0))
+
+    def test_sums_size_one_dims(self, rng):
+        g = rng.normal(size=(3, 4))
+        assert np.allclose(_unbroadcast(g, (1, 4)), g.sum(axis=0, keepdims=True))
+        assert np.allclose(_unbroadcast(g, (3, 1)), g.sum(axis=1, keepdims=True))

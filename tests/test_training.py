@@ -1,0 +1,86 @@
+"""Training loop and batched evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.training import (evaluate_accuracy, evaluate_loss,
+                            evaluate_topk_accuracy, fit, predict_labels,
+                            predict_logits, predict_probs)
+
+
+class TestFit:
+    def test_loss_decreases(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = build_model("resnet", num_classes=6, width=4, seed=2)
+        result = fit(model, train.x, train.y, epochs=3, batch_size=32,
+                     lr=0.03, seed=0)
+        assert result.train_loss[-1] < result.train_loss[0]
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        train, val = tiny_dataset
+        outs = []
+        for _ in range(2):
+            model = build_model("resnet", num_classes=6, width=4, seed=2)
+            fit(model, train.x, train.y, epochs=1, batch_size=32, lr=0.02,
+                seed=7)
+            outs.append(predict_logits(model, val.x[:4]))
+        assert np.allclose(outs[0], outs[1])
+
+    def test_val_history_recorded(self, tiny_dataset):
+        train, val = tiny_dataset
+        model = build_model("resnet", num_classes=6, width=4, seed=2)
+        result = fit(model, train.x, train.y, epochs=2, batch_size=32,
+                     lr=0.02, x_val=val.x, y_val=val.y)
+        assert len(result.val_accuracy) == 2
+        assert result.final_val_accuracy == result.val_accuracy[-1]
+
+    def test_learns_above_chance(self, tiny_dataset):
+        train, val = tiny_dataset
+        model = build_model("resnet", num_classes=6, width=4, seed=2)
+        fit(model, train.x, train.y, epochs=5, batch_size=32, lr=0.03)
+        assert evaluate_accuracy(model, val.x, val.y) > 1 / 6 + 0.15
+
+    def test_augmentation_hook_called(self, tiny_dataset):
+        train, _ = tiny_dataset
+        calls = []
+
+        def aug(xb, rng):
+            calls.append(len(xb))
+            return xb
+        model = build_model("resnet", num_classes=6, width=4, seed=2)
+        fit(model, train.x, train.y, epochs=1, batch_size=32, augment=aug)
+        assert sum(calls) == len(train.x)
+
+    def test_model_left_in_eval_mode(self, tiny_dataset):
+        train, _ = tiny_dataset
+        model = build_model("resnet", num_classes=6, width=4, seed=2)
+        fit(model, train.x, train.y, epochs=1, batch_size=32)
+        assert not model.training
+
+
+class TestEvaluate:
+    def test_probs_normalized(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        p = predict_probs(tiny_model, val.x[:10])
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_batching_invariant(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        a = predict_logits(tiny_model, val.x[:10], batch_size=3)
+        b = predict_logits(tiny_model, val.x[:10], batch_size=10)
+        assert np.allclose(a, b)
+
+    def test_topk_at_least_top1(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        top1 = evaluate_accuracy(tiny_model, val.x, val.y)
+        top3 = evaluate_topk_accuracy(tiny_model, val.x, val.y, k=3)
+        assert top3 >= top1
+
+    def test_topk_full_is_one(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        assert evaluate_topk_accuracy(tiny_model, val.x, val.y, k=6) == 1.0
+
+    def test_loss_positive(self, tiny_model, tiny_dataset):
+        _, val = tiny_dataset
+        assert evaluate_loss(tiny_model, val.x, val.y) > 0

@@ -1,0 +1,79 @@
+"""Utilities: RNG derivation, PPM/PGM writers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (child_generator, child_seed, generator,
+                         noise_to_image, write_pgm, write_ppm)
+
+
+class TestRNG:
+    def test_generator_deterministic(self):
+        assert generator(5).random() == generator(5).random()
+
+    def test_child_seed_stable_across_calls(self):
+        assert child_seed(1, "train", 3) == child_seed(1, "train", 3)
+
+    def test_child_seed_distinguishes_paths(self):
+        assert child_seed(1, "train") != child_seed(1, "val")
+        assert child_seed(1, "a", 0) != child_seed(1, "a", 1)
+
+    def test_child_generator_independent_streams(self):
+        a = child_generator(0, "x").random(5)
+        b = child_generator(0, "y").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestImageIO:
+    def test_ppm_round_trip_header(self, tmp_path, rng):
+        img = rng.random((3, 4, 5))
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, img)
+        with open(path, "rb") as f:
+            content = f.read()
+        assert content.startswith(b"P6\n5 4\n255\n")
+        assert len(content) == len(b"P6\n5 4\n255\n") + 3 * 4 * 5
+
+    def test_ppm_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "x.ppm"), np.zeros((1, 4, 4)))
+
+    def test_pgm_accepts_both_layouts(self, tmp_path, rng):
+        write_pgm(str(tmp_path / "a.pgm"), rng.random((4, 4)))
+        write_pgm(str(tmp_path / "b.pgm"), rng.random((1, 4, 4)))
+        with pytest.raises(ValueError):
+            write_pgm(str(tmp_path / "c.pgm"), rng.random((3, 4, 4)))
+
+    def test_noise_to_image_range(self, rng):
+        noise = rng.normal(size=(3, 8, 8)) * 0.1
+        img = noise_to_image(noise)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        peak = np.abs(noise).argmax()
+        expected = 0.0 if noise.flat[peak] < 0 else 1.0
+        assert np.isclose(img.flat[peak], expected)
+
+    def test_noise_to_image_zero_noise(self):
+        assert np.allclose(noise_to_image(np.zeros((3, 2, 2))), 0.5)
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self):
+        from repro.nn import kaiming_normal
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 128, 3, 3), rng)
+        fan_in = 128 * 9
+        assert np.isclose(w.std(), np.sqrt(2.0 / fan_in), rtol=0.05)
+
+    def test_xavier_uniform_bound(self):
+        from repro.nn import xavier_uniform
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_uniform_bound(self):
+        from repro.nn import kaiming_uniform
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((64, 32), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 32)
+        assert np.abs(w).max() <= bound
