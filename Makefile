@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-all
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) -m repro.benchrunner
+
+bench-all:
+	$(PYTHON) -m repro.benchrunner --all

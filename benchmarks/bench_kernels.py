@@ -1,10 +1,24 @@
 """Substrate micro-benchmarks (not a paper table; engineering numbers).
 
 Times the hot kernels everything else is built on — conv forward/backward,
-fake-quant, the integer edge engine vs float inference, attack step cost
-(the paper's §5.2 'Attack speed' reports PGD and DIVA run at the same
-per-step speed; DIVA's step is two model passes, so expect ~2x here).
+fake-quant, compiled replay vs. the eager tape, the integer edge engine
+vs float inference, and end-to-end attack stepping.  The paper's §5.2
+'Attack speed' reports PGD and DIVA running at the same per-step speed
+because their GPUs batch both models together; this reproduction gets
+its per-step parity budget from the compiled executor
+(:mod:`repro.nn.graph`) plus shared-forward success checks in
+``Attack.generate`` — one fused pass per model per step, so DIVA costs
+two model passes per step (down from four in the naive loop) and PGD
+costs one.  ``repro.benchrunner`` (``make bench``) runs this suite and
+records a ``BENCH_<sha>.json`` perf trajectory; attack workloads are
+benchmarked in float32, the deployment dtype.
+
+The attack-step and replay benches build registry models directly
+(speed does not depend on trained weights), so they run without the
+session ``pipeline`` fixture's training cost.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -19,6 +33,31 @@ def conv_inputs():
     x = rng.normal(size=(32, 8, 16, 16)).astype(np.float32)
     w = rng.normal(size=(16, 8, 3, 3)).astype(np.float32)
     return x, w
+
+
+@pytest.fixture(scope="module")
+def attack_models():
+    """Untrained resnet + its frozen 8-bit adaptation, bench-sized.
+
+    Labels are the original model's own predictions: every sample starts
+    un-succeeded (the original is "correct" by construction and the 8-bit
+    twin mostly agrees), so the keep-best loop's early-success dropout
+    reflects genuine attack progress instead of random-label degeneracy
+    inflating steps/sec.
+    """
+    from repro.models import build_model
+    from repro.quantization import calibrate, prepare_qat
+    from repro.training import predict_labels
+    rng = np.random.default_rng(0)
+    x = rng.random((16, 3, 16, 16)).astype(np.float32)
+    orig = build_model("resnet", num_classes=10, width=8, seed=0)
+    orig.eval()
+    quant = prepare_qat(orig, weight_bits=8)
+    calibrate(quant, x)
+    quant.freeze()
+    quant.eval()
+    y = predict_labels(orig, x)
+    return orig, quant, x, y
 
 
 def test_conv2d_forward(benchmark, conv_inputs):
@@ -48,18 +87,52 @@ def test_fake_quant_overhead(benchmark):
     benchmark(lambda: fq(x))
 
 
-def test_attack_step_cost_pgd_vs_diva(benchmark, cfg, pipeline):
-    """One DIVA step is one fwd+bwd through *two* models; the ratio to
-    PGD's single-model step should be ~2x (paper reports parity because
-    their GPUs batch both models together)."""
+def test_eager_forward_reference(benchmark, attack_models):
+    """Eager-tape resnet forward on the bench batch — the baseline the
+    compiled replay is compared against (ratio computed by
+    ``repro.benchrunner`` from the two medians)."""
+    orig, _, x, _ = attack_models
+    xt = Tensor(x)
+    benchmark(lambda: orig(xt))
+
+
+def test_compiled_replay_vs_eager_forward(benchmark, attack_models):
+    """Compiled resnet replay of the same forward."""
+    from repro.nn.graph import compile_forward
+    orig, _, x, _ = attack_models
+    ex = compile_forward(orig, x)
+    benchmark(lambda: ex.replay(x, copy=False))
+
+
+def test_attack_step_cost_pgd_vs_diva(benchmark, attack_models):
+    """End-to-end ``generate`` stepping cost.
+
+    One DIVA step is one *fused* forward+input-gradient through two
+    models (the §5.2 budget); PGD is the same through one.  The
+    benchmark callable runs DIVA; PGD steps/sec is measured inline and
+    both are recorded in extra_info for the BENCH trajectory.
+    """
     from repro.attacks import DIVA, PGD
-    orig = pipeline.original("resnet")
-    quant = pipeline.quantized("resnet")
-    atk = pipeline.attack_set([orig, quant], "bench-kernel")
-    x, y = atk.x[:32], atk.y[:32]
-    pgd = PGD(quant, steps=1)
-    diva = DIVA(orig, quant, steps=1)
-    benchmark(lambda: (pgd.gradient(x, y), diva.gradient(x, y)))
+    orig, quant, x, y = attack_models
+    steps = 10
+    diva = DIVA(orig, quant, steps=steps)
+    pgd = PGD(quant, steps=steps)
+    diva.generate(x[:4], y[:4])     # compile + warm buffers
+    pgd.generate(x[:4], y[:4])
+
+    t0 = time.perf_counter()
+    reps = 3
+    for _ in range(reps):
+        pgd.generate(x, y)
+    pgd_steps_per_sec = steps * reps / (time.perf_counter() - t0)
+
+    benchmark(lambda: diva.generate(x, y))
+    median = benchmark.stats.stats.median
+    benchmark.extra_info["diva_steps_per_sec"] = steps / median
+    benchmark.extra_info["pgd_steps_per_sec"] = pgd_steps_per_sec
+    benchmark.extra_info["diva_step_ns"] = median / steps * 1e9
+    benchmark.extra_info["keep_best"] = True
+    benchmark.extra_info["batch"] = len(x)
 
 
 def test_edge_engine_inference(benchmark, cfg, pipeline):

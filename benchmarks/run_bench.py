@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark kernel suite and write ``BENCH_<sha>.json``.
+
+Thin wrapper over :mod:`repro.benchrunner` (also exposed as the
+``repro-bench`` console script and ``make bench``) so the perf
+trajectory can be produced straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--all] [--out PATH]
+"""
+
+import sys
+
+from repro.benchrunner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

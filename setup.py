@@ -1,3 +1,21 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-tale-of-two-models",
+    version="0.1.0",
+    description=("Reproduction of 'A Tale of Two Models: Constructing "
+                 "Evasive Attacks on Edge Models' (MLSys 2022)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.benchrunner:main",
+        ],
+    },
+)

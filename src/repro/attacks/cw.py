@@ -6,10 +6,15 @@ Uses the CW margin loss
 
 inside the PGD projection loop, the formulation Madry et al. (2018)
 adopt for apples-to-apples L-inf comparison (and the hyper-parameter
-setup the paper says it follows).
+setup the paper says it follows).  The gradient runs through the
+compiled executor with an analytic margin-loss seed (tie gradients split
+evenly, matching the eager ``Tensor.max`` subgradient), reusing the
+pass's logits for the keep-best success check.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +40,22 @@ def cw_margin_loss(logits: Tensor, y: np.ndarray, kappa: float = 0.0) -> Tensor:
     return margin.maximum(-kappa).sum()
 
 
+def _cw_seed(logits: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
+    """d(-sum f6)/d(logits), mirroring the eager tape's subgradients."""
+    y = np.asarray(y)
+    rows = np.arange(len(y))
+    masked = logits.copy()
+    masked[rows, y] += -1e9
+    best = masked.max(axis=1, keepdims=True)
+    ties = masked == best
+    counts = ties.sum(axis=1, keepdims=True)
+    margin = logits[rows, y] - best[:, 0]
+    live = (margin >= -kappa).astype(logits.dtype)   # hinge subgradient
+    seed = ties * (live[:, None] / counts)           # d(other_best) term
+    seed[rows, y] -= live                            # d(true_logit) term
+    return seed                                      # = -(e_y - d other)/dz
+
+
 class CWLinf(Attack):
     """CW margin loss under an L-inf budget via iterated sign steps."""
 
@@ -48,11 +69,37 @@ class CWLinf(Attack):
         self.kappa = float(kappa)
 
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        # ascend -f: push the true-class margin down
-        return input_gradient(
-            lambda xt: -cw_margin_loss(self.model(xt), y, self.kappa), x_adv)
+        return self.gradient_with_logits(x_adv, y)[0]
+
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+                             ) -> Tuple[np.ndarray, Any]:
+        y = np.asarray(y)
+        ex = self._compiled(self.model, x_adv)
+        if ex is not None:
+            logits, g = ex.value_and_input_grad(
+                x_adv, lambda z: _cw_seed(z, y, self.kappa))
+            return g, logits
+        cap = {}
+
+        def loss(xt: Tensor) -> Tensor:
+            z = self.model(xt)
+            cap["logits"] = z.data
+            # ascend -f: push the true-class margin down
+            return -cw_margin_loss(z, y, self.kappa)
+        return input_gradient(loss, x_adv), cap["logits"]
+
+    def success_logits(self, x_adv: np.ndarray, y: np.ndarray) -> Any:
+        ex = self._compiled(self.model, x_adv)
+        if ex is not None:
+            return ex.replay(x_adv, copy=False)
+        return self.model(Tensor(x_adv)).data
+
+    def success_from_logits(self, aux: Any, y: np.ndarray) -> Optional[np.ndarray]:
+        """CW's goal: the target model mispredicts."""
+        if aux is None:
+            return None
+        return aux.argmax(axis=1) != np.asarray(y)
 
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """CW's goal: the target model mispredicts."""
         from ..training.evaluate import predict_labels
         return predict_labels(self.model, x_adv, batch_size=len(x_adv)) != y

@@ -13,11 +13,17 @@ The same class powers every threat model: whitebox passes the true
 (original, adapted) pair; semi-blackbox passes (surrogate original,
 true adapted); blackbox passes (surrogate original, surrogate adapted)
 — see :mod:`repro.attacks.surrogate` for the pipelines.
+
+Each gradient step fuses both models' forward and input-gradient passes
+through the compiled executor (:mod:`repro.nn.graph`) with an analytic
+softmax seed, and the logits double as the keep-best success check —
+two model passes per step instead of four.  Untraceable models fall
+back to the eager tape (still reusing the gradient-pass logits).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +31,7 @@ from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
-                   input_gradient)
+                   input_gradient, softmax_np, softmax_vjp)
 
 
 def diva_loss(orig_probs: Tensor, adapted_probs: Tensor, y: np.ndarray,
@@ -33,6 +39,14 @@ def diva_loss(orig_probs: Tensor, adapted_probs: Tensor, y: np.ndarray,
     """Summed Eq. 5 over a batch."""
     y = np.asarray(y)
     return (orig_probs.gather_rows(y) - c * adapted_probs.gather_rows(y)).sum()
+
+
+def _prob_seed(logits: np.ndarray, y: np.ndarray, coeff: float) -> np.ndarray:
+    """d(coeff * sum softmax(z)[y]) / dz."""
+    p = softmax_np(logits)
+    onehot = np.zeros_like(p)
+    onehot[np.arange(len(y)), y] = coeff
+    return softmax_vjp(p, onehot)
 
 
 class DIVA(Attack):
@@ -56,15 +70,55 @@ class DIVA(Attack):
         self.original.eval()
         self.adapted.eval()
 
+    # -- gradient ------------------------------------------------------- #
+    def _adapted_seed(self, logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return _prob_seed(logits, y, -self.c)
+
+    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict) -> Tensor:
+        zo = self.original(xt)
+        za = self.adapted(xt)
+        cap["aux"] = (zo.data, za.data)
+        p_orig = F.softmax(zo, axis=-1)
+        p_adapt = F.softmax(za, axis=-1)
+        return diva_loss(p_orig, p_adapt, y, self.c)
+
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        def loss(xt: Tensor) -> Tensor:
-            p_orig = F.softmax(self.original(xt), axis=-1)
-            p_adapt = F.softmax(self.adapted(xt), axis=-1)
-            return diva_loss(p_orig, p_adapt, y, self.c)
-        return input_gradient(loss, x_adv)
+        return self.gradient_with_logits(x_adv, y)[0]
+
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+                             ) -> Tuple[np.ndarray, Any]:
+        y = np.asarray(y)
+        ex_o = self._compiled(self.original, x_adv)
+        ex_a = self._compiled(self.adapted, x_adv)
+        if ex_o is not None and ex_a is not None:
+            zo, go = ex_o.value_and_input_grad(
+                x_adv, lambda z: _prob_seed(z, y, 1.0))
+            za, ga = ex_a.value_and_input_grad(
+                x_adv, lambda z: self._adapted_seed(z, y))
+            return go + ga, (zo, za)
+        cap: dict = {}
+        g = input_gradient(lambda xt: self._eager_loss(xt, y, cap), x_adv)
+        return g, cap["aux"]
+
+    # -- success -------------------------------------------------------- #
+    def success_logits(self, x_adv: np.ndarray, y: np.ndarray) -> Any:
+        ex_o = self._compiled(self.original, x_adv)
+        ex_a = self._compiled(self.adapted, x_adv)
+        if ex_o is not None and ex_a is not None:
+            return ex_o.replay(x_adv, copy=False), ex_a.replay(x_adv, copy=False)
+        return (self.original(Tensor(x_adv)).data,
+                self.adapted(Tensor(x_adv)).data)
+
+    def success_from_logits(self, aux: Any, y: np.ndarray) -> Optional[np.ndarray]:
+        """DIVA's goal: original stays correct AND adapted flips."""
+        if aux is None:
+            return None
+        zo, za = aux
+        y = np.asarray(y)
+        return (zo.argmax(axis=1) == y) & (za.argmax(axis=1) != y)
 
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """DIVA's goal: original stays correct AND adapted flips.
+        """DIVA's goal on pixel inputs (public API; one forward per model).
 
         Note the check runs against the models the *attacker* holds —
         for surrogate pipelines that is the surrogate pair, so no
@@ -96,22 +150,40 @@ class TargetedDIVA(DIVA):
         self.target_class = int(target_class)
         self.target_weight = float(target_weight)
 
-    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        tgt = np.full(len(x_adv), self.target_class)
+    def _adapted_seed(self, logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+        p = softmax_np(logits)
+        v = np.zeros_like(p)
+        rows = np.arange(len(y))
+        v[rows, y] = -self.c
+        # negative squared distance to the one-hot target, ascended
+        onehot = np.zeros_like(p)
+        onehot[rows, self.target_class] = 1.0
+        v -= 2.0 * self.target_weight * (p - onehot)
+        return softmax_vjp(p, v)
 
-        def loss(xt: Tensor) -> Tensor:
-            p_orig = F.softmax(self.original(xt), axis=-1)
-            p_adapt = F.softmax(self.adapted(xt), axis=-1)
-            base = diva_loss(p_orig, p_adapt, y, self.c)
-            # negative squared distance to the one-hot target, ascended
-            onehot = np.zeros(p_adapt.shape, dtype=p_adapt.data.dtype)
-            onehot[np.arange(len(tgt)), tgt] = 1.0
-            d = p_adapt - Tensor(onehot)
-            return base - self.target_weight * (d * d).sum()
-        return input_gradient(loss, x_adv)
+    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict) -> Tensor:
+        zo = self.original(xt)
+        za = self.adapted(xt)
+        cap["aux"] = (zo.data, za.data)
+        p_orig = F.softmax(zo, axis=-1)
+        p_adapt = F.softmax(za, axis=-1)
+        base = diva_loss(p_orig, p_adapt, y, self.c)
+        onehot = np.zeros(p_adapt.shape, dtype=p_adapt.data.dtype)
+        onehot[np.arange(len(y)), self.target_class] = 1.0
+        d = p_adapt - Tensor(onehot)
+        return base - self.target_weight * (d * d).sum()
+
+    def success_from_logits(self, aux: Any, y: np.ndarray) -> Optional[np.ndarray]:
+        """Targeted goal: original stays correct AND adapted says target."""
+        if aux is None:
+            return None
+        zo, za = aux
+        y = np.asarray(y)
+        return ((zo.argmax(axis=1) == y) & (za.argmax(axis=1) == self.target_class)
+                & (y != self.target_class))
 
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Targeted goal: original stays correct AND adapted says target."""
+        """Targeted goal on pixel inputs (public API)."""
         from ..training.evaluate import predict_labels
         po = predict_labels(self.original, x_adv, batch_size=len(x_adv))
         pa = predict_labels(self.adapted, x_adv, batch_size=len(x_adv))

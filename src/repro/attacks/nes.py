@@ -15,13 +15,14 @@ versus whitebox DIVA is where the gradient comes from.  Query cost is
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from ..nn.module import Module
 from ..training.evaluate import predict_probs
-from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS)
+from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
+                   softmax_np)
 
 
 class NESDiva(Attack):
@@ -37,6 +38,11 @@ class NESDiva(Attack):
         Smoothing radius of the NES estimator.
     """
 
+    # the estimator draws noise shaped like the whole batch; shrinking
+    # the batch as samples succeed would change the RNG stream and break
+    # seeded reproducibility, so NES always steps the full batch
+    shrink_done = False
+
     def __init__(self, original: Module, adapted: Module, c: float = 1.0,
                  n_samples: int = 32, sigma: float = 2.0 / 255.0,
                  eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
@@ -51,11 +57,19 @@ class NESDiva(Attack):
         self._rng = np.random.default_rng(seed)
         self.queries = 0          # running query counter (pairs of models)
 
+    def _query_probs(self, model, x: np.ndarray) -> np.ndarray:
+        """One probability query; replayed through the compiled forward
+        when the queried model is traceable (same numbers, no tape)."""
+        ex = self._compiled(model, x)
+        if ex is not None:
+            return softmax_np(ex.replay(x, copy=False))
+        return predict_probs(model, x, batch_size=len(x))
+
     def _loss(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Per-sample Eq. 5 values from probability queries."""
         rows = np.arange(len(x))
-        po = predict_probs(self.original, x, batch_size=len(x))[rows, y]
-        pa = predict_probs(self.adapted, x, batch_size=len(x))[rows, y]
+        po = self._query_probs(self.original, x)[rows, y]
+        pa = self._query_probs(self.adapted, x)[rows, y]
         self.queries += len(x)
         return po - self.c * pa
 
@@ -69,6 +83,20 @@ class NESDiva(Attack):
             delta = self._loss(plus, y) - self._loss(minus, y)
             grad += delta.reshape(-1, *([1] * len(shape))) * u
         return (grad / (2 * self.n_samples * self.sigma)).astype(x_adv.dtype)
+
+    def success_logits(self, x_adv: np.ndarray, y: np.ndarray) -> Any:
+        ex_o = self._compiled(self.original, x_adv)
+        ex_a = self._compiled(self.adapted, x_adv)
+        if ex_o is not None and ex_a is not None:
+            return ex_o.replay(x_adv, copy=False), ex_a.replay(x_adv, copy=False)
+        return None
+
+    def success_from_logits(self, aux: Any, y: np.ndarray) -> Optional[np.ndarray]:
+        if aux is None:
+            return None
+        zo, za = aux
+        y = np.asarray(y)
+        return (zo.argmax(axis=1) == y) & (za.argmax(axis=1) != y)
 
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         from ..training.evaluate import predict_labels

@@ -5,16 +5,31 @@ The baseline configuration follows §5.1: the PGD attack targets *the
 adapted model* (the attacker wants the edge device to mispredict);
 evasiveness against the original model is whatever transfer happens to
 give — which Fig 1 shows is poor, motivating DIVA.
+
+The gradient runs through the compiled executor when the model is
+traceable (falling back to the eager tape otherwise), and the logits it
+produces double as the keep-best success check — one model pass per
+step instead of two.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.module import Module
+from ..nn.tensor import Tensor
 from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
-                   input_gradient)
+                   input_gradient, softmax_np)
+
+
+def _ce_sum_seed(logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """d(sum cross-entropy)/d(logits) = softmax - onehot."""
+    seed = softmax_np(logits)
+    seed[np.arange(len(y)), y] -= 1.0
+    return seed
 
 
 class PGD(Attack):
@@ -29,12 +44,37 @@ class PGD(Attack):
         self.model.eval()
 
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        return input_gradient(
-            lambda xt: F.cross_entropy(self.model(xt), y, reduction="sum"),
-            x_adv)
+        return self.gradient_with_logits(x_adv, y)[0]
+
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+                             ) -> Tuple[np.ndarray, Any]:
+        y = np.asarray(y)
+        ex = self._compiled(self.model, x_adv)
+        if ex is not None:
+            logits, g = ex.value_and_input_grad(
+                x_adv, lambda z: _ce_sum_seed(z, y))
+            return g, logits
+        cap = {}
+
+        def loss(xt: Tensor) -> Tensor:
+            z = self.model(xt)
+            cap["logits"] = z.data
+            return F.cross_entropy(z, y, reduction="sum")
+        return input_gradient(loss, x_adv), cap["logits"]
+
+    def success_logits(self, x_adv: np.ndarray, y: np.ndarray) -> Any:
+        ex = self._compiled(self.model, x_adv)
+        if ex is not None:
+            return ex.replay(x_adv, copy=False)
+        return self.model(Tensor(x_adv)).data
+
+    def success_from_logits(self, aux: Any, y: np.ndarray) -> Optional[np.ndarray]:
+        """PGD's own goal: the target model mispredicts."""
+        if aux is None:
+            return None
+        return aux.argmax(axis=1) != np.asarray(y)
 
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """PGD's own goal: the target model mispredicts."""
         from ..training.evaluate import predict_labels
         return predict_labels(self.model, x_adv, batch_size=len(x_adv)) != y
 
@@ -43,8 +83,11 @@ class MomentumPGD(PGD):
     """PGD with gradient momentum (MI-FGSM).
 
     Accumulates an L1-normalized gradient moving average; §5.4 evaluates
-    it with ``mu = 0.5``.
+    it with ``mu = 0.5``.  The velocity is full-batch state, so the loop
+    must not shrink the batch as samples succeed.
     """
+
+    shrink_done = False
 
     def __init__(self, model: Module, eps: float = DEFAULT_EPS,
                  alpha: float = DEFAULT_ALPHA, steps: int = DEFAULT_STEPS,
@@ -58,9 +101,10 @@ class MomentumPGD(PGD):
         self._velocity = np.zeros_like(x)   # reset per batch
         return super()._init(x)
 
-    def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
-        g = super().gradient(x_adv, y)
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+                             ) -> Tuple[np.ndarray, Any]:
+        g, aux = super().gradient_with_logits(x_adv, y)
         norm = np.abs(g).reshape(len(g), -1).mean(axis=1)
         norm = np.maximum(norm, 1e-12).reshape(-1, *([1] * (g.ndim - 1)))
         self._velocity = self.mu * self._velocity + g / norm
-        return self._velocity
+        return self._velocity, aux

@@ -11,6 +11,13 @@ Blackbox: the attacker additionally lacks the adapted model's parameters
 the adapted model's predictions, then re-adapted (QAT on the attacker's
 data) into a surrogate adapted model; DIVA runs on the two surrogates and
 transfers to the true pair.
+
+Both pipelines finish training their surrogates *before* the returned
+bundle's ``attack`` runs, so the DIVA instance compiles the (frozen)
+model pair into replayable programs on its first gradient batch
+(:mod:`repro.nn.graph`) and steps at two fused model passes per
+iteration; ``Attack.generate`` re-folds the compiled constants on every
+call, so reusing a bundle after further finetuning stays correct.
 """
 
 from __future__ import annotations

@@ -1,0 +1,141 @@
+"""Machine-readable perf trajectory: run the kernel benches, write
+``BENCH_<sha>.json``.
+
+Each entry records median ns per kernel plus attack stepping throughput
+(steps/sec) so successive PRs can be compared mechanically::
+
+    make bench                    # or: repro-bench / python benchmarks/run_bench.py
+    cat BENCH_ab12cd3.json
+
+Only the self-contained benches run by default (the pipeline-backed
+edge-engine benches train paper-scale models on first use; pass
+``--all`` to include them).  Attack workloads are benchmarked in
+float32 — the deployment dtype — via the bench suite's session fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+#: benches that need no trained pipeline; keep in sync with bench_kernels.py
+FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
+                     "or eager_forward or attack_step")
+
+
+def repo_root() -> Path:
+    """Repo root: the directory holding ``benchmarks/`` (cwd-based with a
+    fallback to the source checkout this module lives in)."""
+    for cand in (Path.cwd(), Path(__file__).resolve().parents[2]):
+        if (cand / "benchmarks" / "bench_kernels.py").is_file():
+            return cand
+    raise SystemExit("cannot locate benchmarks/bench_kernels.py; "
+                     "run from the repository root")
+
+
+def git_sha(root: Path) -> str:
+    """Short HEAD sha, with ``-dirty`` when the working tree differs —
+    a trajectory entry must not be attributed to a commit whose tree
+    was not the code measured."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=root, capture_output=True, text=True, timeout=10)
+        sha = out.stdout.strip()
+        if out.returncode != 0 or not sha:
+            return "nosha"
+        status = subprocess.run(["git", "status", "--porcelain"],
+                                cwd=root, capture_output=True, text=True,
+                                timeout=10)
+        if status.returncode == 0 and status.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except Exception:
+        return "nosha"
+
+
+def run_benches(root: Path, select: Optional[str], json_path: Path,
+                extra_args: Optional[list] = None) -> int:
+    cmd = [sys.executable, "-m", "pytest", "benchmarks/bench_kernels.py",
+           "--benchmark-only", "-q", "--benchmark-json", str(json_path)]
+    if select:
+        cmd += ["-k", select]
+    if extra_args:
+        cmd += extra_args
+    return subprocess.run(cmd, cwd=root).returncode
+
+
+def summarize(raw: dict, sha: str) -> dict:
+    """Reduce the pytest-benchmark JSON to the trajectory schema."""
+    kernels = {}
+    attack = {}
+    replay = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0].removeprefix("test_")
+        median_ns = bench["stats"]["median"] * 1e9
+        kernels[name] = median_ns
+        extra = bench.get("extra_info") or {}
+        if "diva_steps_per_sec" in extra:
+            attack = {
+                "diva_steps_per_sec": extra["diva_steps_per_sec"],
+                "pgd_steps_per_sec": extra["pgd_steps_per_sec"],
+                "diva_step_ns": extra["diva_step_ns"],
+            }
+    eager = kernels.get("eager_forward_reference")
+    compiled = kernels.get("compiled_replay_vs_eager_forward")
+    if eager and compiled:
+        replay = {
+            "eager_forward_ns": eager,
+            "compiled_replay_ns": compiled,
+            "speedup": eager / compiled,
+        }
+    return {
+        "sha": sha,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "dtype": "float32",
+        "kernels_median_ns": kernels,
+        "attack": attack,
+        "compiled_replay": replay,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the kernel benches and write BENCH_<sha>.json")
+    parser.add_argument("--all", action="store_true",
+                        help="include the pipeline-backed benches "
+                             "(trains paper-scale models on first use)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_<sha>.json in the "
+                             "repo root)")
+    args, passthrough = parser.parse_known_args(argv)
+
+    root = repo_root()
+    sha = git_sha(root)
+    with tempfile.TemporaryDirectory() as td:
+        json_path = Path(td) / "bench.json"
+        rc = run_benches(root, None if args.all else FAST_BENCH_FILTER,
+                         json_path, passthrough)
+        if rc != 0:
+            return rc
+        raw = json.loads(json_path.read_text())
+    summary = summarize(raw, sha)
+    out = args.out or (root / f"BENCH_{sha}.json")
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    if summary["attack"]:
+        print(f"  DIVA {summary['attack']['diva_steps_per_sec']:.1f} steps/s, "
+              f"PGD {summary['attack']['pgd_steps_per_sec']:.1f} steps/s")
+    if summary["compiled_replay"]:
+        print(f"  compiled replay {summary['compiled_replay']['speedup']:.2f}x "
+              "vs eager forward")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

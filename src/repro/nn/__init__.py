@@ -9,6 +9,8 @@ from . import functional, losses
 from .activations import (ELU, GELU, HardSwish, LeakyReLU, Swish, elu, gelu,
                           hard_sigmoid, hard_swish, leaky_relu, softplus,
                           swish)
+from .graph import (CompiledForward, GraphUnsupported, compile_forward,
+                    compile_forward_or_none)
 from .init import kaiming_normal, kaiming_uniform, xavier_uniform
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
@@ -23,6 +25,8 @@ from .tensor import (Tensor, concat, get_default_dtype, set_default_dtype,
 __all__ = [
     "Tensor", "concat", "stack", "where",
     "set_default_dtype", "get_default_dtype",
+    "CompiledForward", "GraphUnsupported", "compile_forward",
+    "compile_forward_or_none",
     "Module", "ModuleList", "Parameter", "Sequential",
     "Linear", "Conv2d", "BatchNorm1d", "BatchNorm2d", "ReLU", "Flatten",
     "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Dropout", "Identity",

@@ -12,6 +12,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from . import tensor as _tensor
 from .tensor import Tensor, _unbroadcast
 
 IntPair = Union[int, Tuple[int, int]]
@@ -121,26 +122,34 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
                 gm = g.transpose(0, 2, 3, 1)                      # (N,OH,OW,F)
                 if weight.requires_grad:
                     dw = np.tensordot(gm, cols2, axes=([0, 1, 2], [0, 1, 2]))  # (F, C*kh*kw)
-                    weight._accumulate(dw.reshape(weight.shape))
+                    weight._accumulate(dw.reshape(weight.shape), owned=True)
                 if x.requires_grad:
                     wmat = weight.data.reshape(F, C * kh * kw)
                     dcols2 = gm @ wmat                             # (N,OH,OW,C*kh*kw)
                     dcols = dcols2.reshape(N, oh, ow, C, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw),
+                                  owned=True)
             else:
                 G = groups
                 Fg = F // G
                 gg = g.reshape(N, G, Fg, oh, ow)
                 if weight.requires_grad:
                     dw = np.einsum("ngfxy,ngxyk->gfk", gg, cols2, optimize=True)
-                    weight._accumulate(dw.reshape(weight.shape))
+                    weight._accumulate(dw.reshape(weight.shape), owned=True)
                 if x.requires_grad:
                     wmat = weight.data.reshape(G, Fg, Cg * kh * kw)
                     dcols2 = np.einsum("ngfxy,gfk->ngxyk", gg, wmat, optimize=True)
                     dcols = dcols2.reshape(N, G, oh, ow, Cg, kh, kw)
                     dcols = dcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(N, C, kh, kw, oh, ow)
-                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw),
+                                  owned=True)
         out._backward = _bw
+    if _tensor._GRAPH_TRACER is not None:
+        inputs = (x, weight) + ((bias,) if bias is not None else ())
+        _tensor._GRAPH_TRACER.emit("conv2d", inputs, out,
+                                   {"stride": (sh, sw), "padding": (ph, pw),
+                                    "groups": groups,
+                                    "has_bias": bias is not None})
     return out
 
 
@@ -176,8 +185,12 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
             dflat = np.zeros((N, C, oh, ow, kh * kw), dtype=g.dtype)
             np.put_along_axis(dflat, arg[..., None], g[..., None], axis=-1)
             dcols = dflat.reshape(N, C, oh, ow, kh, kw).transpose(0, 1, 4, 5, 2, 3)
-            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw), owned=True)
         out._backward = _bw
+    if _tensor._GRAPH_TRACER is not None:
+        _tensor._GRAPH_TRACER.emit("max_pool2d", (x,), out,
+                                   {"kernel": (kh, kw), "stride": (sh, sw),
+                                    "padding": (ph, pw)})
     return out
 
 
@@ -199,8 +212,12 @@ def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None,
             dcols = np.broadcast_to(
                 g[:, :, None, None, :, :] / (kh * kw), (N, C, kh, kw, oh, ow)
             ).astype(g.dtype)
-            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw))
+            x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw), owned=True)
         out._backward = _bw
+    if _tensor._GRAPH_TRACER is not None:
+        _tensor._GRAPH_TRACER.emit("avg_pool2d", (x,), out,
+                                   {"kernel": (kh, kw), "stride": (sh, sw),
+                                    "padding": (ph, pw)})
     return out
 
 

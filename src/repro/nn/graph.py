@@ -1,0 +1,1137 @@
+"""Trace-and-replay compiled forward executor for ``repro.nn`` modules.
+
+The eager tape (:mod:`repro.nn.tensor`) rebuilds the full autograd graph —
+tensor nodes, backward closures, a topological sort — on *every* forward.
+For the attack hot loop, which pushes thousands of batches through two
+frozen models, almost all of that work is identical step to step.  This
+module does it once:
+
+``compile_forward(module, example)`` runs the module's forward a single
+time under a tracer (hooks in :mod:`repro.nn.tensor` /
+:mod:`repro.nn.functional` report each primitive op in execution order —
+already a topological order), then lowers the recorded tape into a flat
+replayable program:
+
+- **constant folding** — every subgraph that does not depend on the input
+  (pruning masks, weight fake-quantization, ``weight.reshape(...).T``
+  for Linear/Conv) is evaluated once at compile time and cached, so a
+  QAT model no longer re-quantizes its weights on every attack step;
+- **preallocated buffers** — elementwise/matmul/conv outputs are written
+  into buffers allocated once per executor and reused across replays,
+  and each conv reuses a single im2col scratch buffer for its forward
+  *and* its input-gradient backward;
+- **no per-step Python closure allocation or topo re-sort** — the
+  program is a fixed list of bound kernels built at compile time;
+- **fused forward + input gradient** — :meth:`CompiledForward.
+  value_and_input_grad` returns the logits *and* d(loss)/d(input) in one
+  replay, given the loss gradient w.r.t. the logits (parameter gradients
+  are deliberately not computed: attacks never use them).
+
+Replays accept any batch size whose trailing dims match the traced
+example; buffers grow on demand and are sliced for smaller batches, so a
+shrinking attack batch (samples dropping out as they succeed) replays
+without retracing.
+
+Safety: tracing is best-effort by construction, so compilation
+*validates itself* — the compiled program is compared against the eager
+tape on a perturbed input (logits and input gradient) before it is
+returned, and any mismatch or untraceable op raises
+:class:`GraphUnsupported`.  Callers (see :mod:`repro.attacks.base`)
+treat that as "fall back to the eager tape", never as an error.
+
+Constants are snapshots: if parameters are mutated after compilation
+(e.g. by an optimizer step), call :meth:`CompiledForward.refresh` to
+re-fold them.  Attacks do this at the start of every ``generate`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import tensor as _tensor
+from .functional import _col2im, _im2col
+from .module import Module
+from .tensor import Tensor, _unbroadcast, get_default_dtype
+
+
+class GraphUnsupported(RuntimeError):
+    """A forward cannot be traced into a replayable program."""
+
+
+def compile_forward_or_none(module, example):
+    """Best-effort :func:`compile_forward`: None instead of raising.
+
+    Any failure (unsupported op, non-Module test double, train-mode
+    batch statistics, parity-validation mismatch) means "use the eager
+    tape" — never an error.  The single fallback policy shared by
+    attacks and evaluation.
+    """
+    try:
+        return compile_forward(module, example)
+    except Exception:
+        return None
+
+
+class _Op:
+    """One recorded primitive op: ``out = kind(*inputs, **attrs)``."""
+
+    __slots__ = ("kind", "inputs", "out", "attrs", "in_shapes", "out_shape")
+
+    def __init__(self, kind, inputs, out, attrs, in_shapes, out_shape):
+        self.kind = kind
+        self.inputs = inputs          # tuple of node ids
+        self.out = out                # node id
+        self.attrs = attrs or {}
+        self.in_shapes = in_shapes    # tuple of traced input shapes
+        self.out_shape = out_shape    # traced output shape
+
+
+class _Tracer:
+    """Records emitted ops; installed as ``tensor._GRAPH_TRACER``."""
+
+    def __init__(self, input_tensor: Tensor):
+        self.ops: List[_Op] = []
+        self.ids: Dict[int, int] = {}
+        self.keep: List[Tensor] = []   # keepalive: id() reuse would corrupt ids
+        self.leaves: Dict[int, Tensor] = {}
+        self.count = 0
+        self.input_id = self._register(input_tensor)
+
+    def _register(self, t: Tensor) -> int:
+        nid = self.count
+        self.count += 1
+        self.ids[id(t)] = nid
+        self.keep.append(t)
+        return nid
+
+    def _lookup(self, t: Tensor) -> int:
+        nid = self.ids.get(id(t))
+        if nid is None:
+            nid = self._register(t)
+            self.leaves[nid] = t
+        return nid
+
+    def emit(self, kind, inputs, out, attrs) -> None:
+        in_ids = tuple(self._lookup(t) for t in inputs)
+        out_id = self._register(out)
+        self.ops.append(_Op(kind, in_ids, out_id, attrs,
+                            tuple(t.data.shape for t in inputs),
+                            out.data.shape))
+
+
+def _check_input_path(xt: Tensor, out: Tensor, tracer: _Tracer) -> None:
+    """Every tape node that depends on the input must have been traced.
+
+    A missed emit on the input path would silently freeze an
+    input-dependent value as a constant; this walk turns that into a
+    loud :class:`GraphUnsupported` instead.
+    """
+    dep: Dict[int, bool] = {id(xt): True}
+    order: List[Tensor] = []
+    stack: List[Tuple[Tensor, bool]] = [(out, False)]
+    seen = set()
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for p in node._parents:
+            stack.append((p, False))
+    for node in order:          # parents come before children
+        if id(node) in dep:
+            continue
+        dep[id(node)] = any(dep.get(id(p), False) for p in node._parents)
+        if dep[id(node)] and id(node) not in tracer.ids:
+            raise GraphUnsupported(
+                "forward used an untraced operation on the input path "
+                f"(tensor shape {node.shape}); cannot compile")
+
+
+# --------------------------------------------------------------------- #
+# compile entry point
+# --------------------------------------------------------------------- #
+def compile_forward(module: Callable[[Tensor], Tensor],
+                    example: np.ndarray,
+                    validate: bool = True) -> "CompiledForward":
+    """Trace ``module``'s forward on ``example`` and compile it.
+
+    Raises :class:`GraphUnsupported` when the forward uses an op the
+    executor does not implement, produces something other than a traced
+    Tensor, or fails the compile-time parity validation.
+    """
+    x = np.asarray(example)
+    if x.dtype != get_default_dtype():
+        x = x.astype(get_default_dtype())
+    if x.ndim < 1 or len(x) < 1:
+        raise GraphUnsupported("example batch must be non-empty")
+    if _tensor._GRAPH_TRACER is not None:
+        raise GraphUnsupported("nested tracing is not supported")
+    xt = Tensor(x, requires_grad=True)
+    tracer = _Tracer(xt)
+    _tensor._GRAPH_TRACER = tracer
+    try:
+        out = module(xt)
+    finally:
+        _tensor._GRAPH_TRACER = None
+    if not isinstance(out, Tensor):
+        raise GraphUnsupported("forward did not return a Tensor")
+    out_id = tracer.ids.get(id(out))
+    if out_id is None or out_id in tracer.leaves:
+        raise GraphUnsupported("forward output was not produced by traced ops")
+    _check_input_path(xt, out, tracer)
+    prog = CompiledForward(tracer, out_id, x)
+    if validate:
+        prog._validate(module, x)
+    return prog
+
+
+class CompiledForward:
+    """A flat, replayable program lowered from one traced forward."""
+
+    def __init__(self, tracer: _Tracer, out_id: int, example: np.ndarray):
+        self._input_id = tracer.input_id
+        self._out_id = out_id
+        self._dtype = example.dtype
+        self._trailing = example.shape[1:]
+        self._n0 = example.shape[0]
+
+        # Reachability from the output.
+        reach = {out_id}
+        for op in reversed(tracer.ops):
+            if op.out in reach:
+                reach.update(op.inputs)
+        if self._input_id not in reach:
+            raise GraphUnsupported("output does not depend on the input")
+        ops = [op for op in tracer.ops if op.out in reach]
+
+        # Split into constant (input-independent) and variable ops.
+        var = {self._input_id}
+        for op in ops:
+            if any(i in var for i in op.inputs):
+                var.add(op.out)
+        self._var_set = var
+        self._const_ops = [op for op in ops if op.out not in var]
+        self._var_ops = [op for op in ops if op.out in var]
+        self._leaves = {nid: t for nid, t in tracer.leaves.items() if nid in reach}
+
+        for op in self._var_ops:
+            if op.kind not in _FWD_FACTORY or op.kind not in _BWD_FACTORY:
+                raise GraphUnsupported(f"op {op.kind!r} is not replayable")
+            if op.out_shape[:1] != (self._n0,):
+                raise GraphUnsupported(
+                    f"op {op.kind!r} output is not batch-major "
+                    f"(shape {op.out_shape}); cannot replay variable batches")
+
+        self._env: List[Optional[np.ndarray]] = [None] * tracer.count
+        self._ctx: Dict[int, dict] = {op.out: {} for op in self._var_ops}
+        self._bufs: Dict[object, np.ndarray] = {}
+        self._buf_shapes: Dict[object, Tuple[int, ...]] = {}
+        self._alloc_n = 0
+        self.replays = 0
+
+        self.refresh()
+        self._fwd_prog = [_FWD_FACTORY[op.kind](self, op) for op in self._var_ops]
+        self._bwd_prog = [(_BWD_FACTORY[op.kind](self, op), op.out)
+                          for op in reversed(self._var_ops)]
+        self._ensure(self._n0)
+
+    # -- buffers -------------------------------------------------------- #
+    def _register_buf(self, key, per_sample_shape: Tuple[int, ...],
+                      fill: Optional[float] = None) -> None:
+        """``fill`` pre-fills the buffer once per allocation — used for
+        padded-input buffers whose borders are constant (0 for conv,
+        -inf for max-pool), so replays only write the interior."""
+        self._buf_shapes[key] = (tuple(per_sample_shape), fill)
+
+    def _slot(self, key, n: int) -> np.ndarray:
+        return self._bufs[key][:n]
+
+    def _ensure(self, n: int) -> None:
+        if n <= self._alloc_n:
+            return
+        for key, (shape, fill) in self._buf_shapes.items():
+            buf = np.empty((n,) + shape, dtype=self._dtype)
+            if fill is not None:
+                buf.fill(fill)
+            self._bufs[key] = buf
+        self._alloc_n = n
+
+    def _batched(self, shape: Tuple[int, ...]) -> bool:
+        return len(shape) >= 1 and shape[0] == self._n0
+
+    # -- constants ------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Re-read leaf tensors and re-fold the constant subgraphs.
+
+        Call after mutating parameters in place (optimizer steps); cheap
+        relative to even a single replay, so attacks call it once per
+        ``generate``.
+        """
+        env = self._env
+        for nid, t in self._leaves.items():
+            env[nid] = t.data
+        for ctx in self._ctx.values():
+            ctx.pop("wmat", None)
+            ctx.pop("wmat_g", None)
+        for op in self._const_ops:
+            env[op.out] = _eval_const(op, env)
+
+    # -- replay --------------------------------------------------------- #
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.dtype != self._dtype:
+            x = x.astype(self._dtype)
+        if x.shape[1:] != self._trailing:
+            raise GraphUnsupported(
+                f"replay input trailing shape {x.shape[1:]} != traced "
+                f"{self._trailing}")
+        return x
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        n = len(x)
+        self._ensure(n)
+        env = self._env
+        env[self._input_id] = x
+        for run in self._fwd_prog:
+            run(n)
+        self.replays += 1
+        return env[self._out_id]
+
+    def replay(self, x: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Forward only: return the output (logits) for batch ``x``.
+
+        With ``copy=False`` the returned array is a view into an
+        internal buffer, valid until the next replay.
+        """
+        out = self._forward(self._check_input(x))
+        return out.copy() if copy else out
+
+    def value_and_input_grad(self, x: np.ndarray,
+                             out_grad: Union[np.ndarray, Callable[[np.ndarray], np.ndarray]],
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        """One fused replay: output and d(loss)/d(input).
+
+        ``out_grad`` is either the loss gradient w.r.t. the output, or a
+        callable mapping the output array to that gradient (evaluated
+        after the forward half, so success checks and gradient seeds can
+        share the same logits).  The returned output is a buffer view
+        valid until the next replay; the gradient is freshly owned.
+        """
+        x = self._check_input(x)
+        n = len(x)
+        out = self._forward(x)
+        g = out_grad(out) if callable(out_grad) else np.asarray(out_grad)
+        if g.dtype != self._dtype:
+            g = g.astype(self._dtype)
+        if g.shape != out.shape:
+            raise ValueError(f"seed gradient shape {g.shape} != output "
+                             f"shape {out.shape}")
+        genv: List[Optional[np.ndarray]] = [None] * len(self._env)
+        gowned: List[bool] = [False] * len(self._env)
+        genv[self._out_id] = g
+        for run, out_nid in self._bwd_prog:
+            go = genv[out_nid]
+            if go is None:
+                continue
+            run(go, genv, gowned, n)
+            genv[out_nid] = None
+        gx = genv[self._input_id]
+        if gx is None:
+            gx = np.zeros_like(x)
+        elif not gowned[self._input_id] or not gx.flags.writeable:
+            gx = np.ascontiguousarray(gx)
+        return out, gx
+
+    # -- validation ----------------------------------------------------- #
+    def _validate(self, module, example: np.ndarray) -> None:
+        rng = np.random.default_rng(0)
+        xv = (example + rng.normal(0.0, 1e-2, size=example.shape)
+              ).astype(self._dtype)
+        xt = Tensor(xv, requires_grad=True)
+        ref_out_t = module(xt)
+        ref = ref_out_t.data
+        seed = np.ones_like(ref)
+        ref_out_t.backward(seed)
+        gref = xt.grad
+        if isinstance(module, Module):
+            module.zero_grad()       # drop parameter grads the check created
+        got, gx = self.value_and_input_grad(xv, seed)
+        if got.shape != ref.shape or not np.allclose(got, ref, rtol=1e-5, atol=1e-6):
+            raise GraphUnsupported("compiled forward does not match eager tape")
+        if gx.shape != gref.shape or not np.allclose(gx, gref, rtol=1e-5, atol=1e-6):
+            raise GraphUnsupported("compiled input gradient does not match eager tape")
+
+
+# --------------------------------------------------------------------- #
+# constant evaluation (runs once per compile/refresh; clarity over speed)
+# --------------------------------------------------------------------- #
+def _eval_const(op: _Op, env) -> np.ndarray:
+    ins = [env[i] for i in op.inputs]
+    k, at = op.kind, op.attrs
+    if k == "add":
+        return ins[0] + ins[1]
+    if k == "sub":
+        return ins[0] - ins[1]
+    if k == "neg":
+        return -ins[0]
+    if k == "mul":
+        return ins[0] * ins[1]
+    if k == "div":
+        return ins[0] / ins[1]
+    if k == "pow":
+        return ins[0] ** at["exponent"]
+    if k == "matmul":
+        return ins[0] @ ins[1]
+    if k == "exp":
+        return np.exp(ins[0])
+    if k == "log":
+        return np.log(ins[0])
+    if k == "sqrt":
+        return np.sqrt(ins[0])
+    if k == "tanh":
+        return np.tanh(ins[0])
+    if k == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-ins[0]))
+    if k == "relu":
+        return np.where(ins[0] > 0, ins[0], 0.0)
+    if k == "sum":
+        return ins[0].sum(axis=at["axis"], keepdims=at["keepdims"])
+    if k == "reshape":
+        return ins[0].reshape(op.out_shape)
+    if k == "transpose":
+        return ins[0].transpose(at["axes"])
+    if k == "concat":
+        return np.concatenate(ins, axis=at["axis"])
+    if k == "fake_quant":
+        from ..quantization.affine import fake_quantize_array
+        return fake_quantize_array(ins[0], at["qp"])
+    raise GraphUnsupported(f"op {op.kind!r} is not replayable")
+
+
+# --------------------------------------------------------------------- #
+# variable-op kernels
+#
+# Each factory binds the op's ids/attrs once at compile time and returns
+# a closure; replay just calls the closures in order, so the hot loop
+# allocates no closures and never re-sorts the graph.
+#
+# Backward closures accumulate through ``_gacc`` with an explicit
+# ownership flag: a contribution may only be added *in place* into an
+# existing entry when that entry was stored as a freshly-owned array.
+# View contributions (reshape/transpose/concat slices of an upstream
+# gradient) are never mutated — the same aliasing discipline
+# ``Tensor._accumulate`` follows.
+# --------------------------------------------------------------------- #
+def _gacc(genv, gowned, nid: int, arr: np.ndarray, owned: bool) -> None:
+    cur = genv[nid]
+    if cur is None:
+        genv[nid] = arr
+        gowned[nid] = owned
+    elif gowned[nid] and cur.flags.writeable:
+        np.add(cur, arr, out=cur)
+    else:
+        genv[nid] = cur + arr
+        gowned[nid] = True
+
+
+_FWD_FACTORY: Dict[str, Callable] = {}
+_BWD_FACTORY: Dict[str, Callable] = {}
+
+
+def _register(kind):
+    def deco(fn):
+        _FWD_FACTORY[kind] = fn
+        return fn
+    return deco
+
+
+def _register_bwd(kind):
+    def deco(fn):
+        _BWD_FACTORY[kind] = fn
+        return fn
+    return deco
+
+
+def _ufunc_fwd(prog, op, call):
+    """Shared buffer logic for elementwise/matmul/sum ops: write into a
+    preallocated batch-major buffer when possible, else allocate fresh."""
+    env = prog._env
+    o = op.out
+    if prog._batched(op.out_shape):
+        prog._register_buf(o, op.out_shape[1:])
+
+        def run(n, env=env, o=o, prog=prog, call=call):
+            env[o] = call(prog._slot(o, n))
+    else:                                   # pragma: no cover - defensive
+        def run(n, env=env, o=o, call=call):
+            env[o] = call(None)
+    return run
+
+
+def _grad_target_shape(prog, shape: Tuple[int, ...], n: int) -> Tuple[int, ...]:
+    return ((n,) + shape[1:]) if prog._batched(shape) else shape
+
+
+# ---- arithmetic ------------------------------------------------------- #
+@_register("add")
+def _f_add(prog, op):
+    a, b = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.add(env[a], env[b], out=out))
+
+
+@_register_bwd("add")
+def _b_add(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+        if a in var:
+            ga = _unbroadcast(g, _grad_target_shape(prog, sa, n))
+            _gacc(genv, gowned, a, ga, ga is not g)
+        if b in var:
+            gb = _unbroadcast(g, _grad_target_shape(prog, sb, n))
+            _gacc(genv, gowned, b, gb, gb is not g)
+    return run
+
+
+@_register("sub")
+def _f_sub(prog, op):
+    a, b = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.subtract(env[a], env[b], out=out))
+
+
+@_register_bwd("sub")
+def _b_sub(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+        if a in var:
+            ga = _unbroadcast(g, _grad_target_shape(prog, sa, n))
+            _gacc(genv, gowned, a, ga, ga is not g)
+        if b in var:
+            _gacc(genv, gowned, b,
+                  _unbroadcast(-g, _grad_target_shape(prog, sb, n)), True)
+    return run
+
+
+@_register("neg")
+def _f_neg(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.negative(env[a], out=out))
+
+
+@_register_bwd("neg")
+def _b_neg(prog, op):
+    a, = op.inputs
+
+    def run(g, genv, gowned, n, a=a):
+        _gacc(genv, gowned, a, -g, True)
+    return run
+
+
+@_register("mul")
+def _f_mul(prog, op):
+    a, b = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.multiply(env[a], env[b], out=out))
+
+
+@_register_bwd("mul")
+def _b_mul(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    env = prog._env
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+        if a in var:
+            _gacc(genv, gowned, a,
+                  _unbroadcast(g * env[b], _grad_target_shape(prog, sa, n)), True)
+        if b in var:
+            _gacc(genv, gowned, b,
+                  _unbroadcast(g * env[a], _grad_target_shape(prog, sb, n)), True)
+    return run
+
+
+@_register("div")
+def _f_div(prog, op):
+    a, b = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.divide(env[a], env[b], out=out))
+
+
+@_register_bwd("div")
+def _b_div(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    env = prog._env
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+        if a in var:
+            _gacc(genv, gowned, a,
+                  _unbroadcast(g / env[b], _grad_target_shape(prog, sa, n)), True)
+        if b in var:
+            _gacc(genv, gowned, b,
+                  _unbroadcast(-g * env[a] / (env[b] ** 2),
+                               _grad_target_shape(prog, sb, n)), True)
+    return run
+
+
+@_register("pow")
+def _f_pow(prog, op):
+    a, = op.inputs
+    e = op.attrs["exponent"]
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.power(env[a], e, out=out))
+
+
+@_register_bwd("pow")
+def _b_pow(prog, op):
+    a, = op.inputs
+    e = op.attrs["exponent"]
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, e=e):
+        _gacc(genv, gowned, a, g * e * (env[a] ** (e - 1)), True)
+    return run
+
+
+@_register("matmul")
+def _f_matmul(prog, op):
+    a, b = op.inputs
+    env = prog._env
+    if len(op.in_shapes[0]) < 2 or len(op.in_shapes[1]) < 2:
+        raise GraphUnsupported("vector matmul is not replayable")
+    return _ufunc_fwd(prog, op, lambda out: np.matmul(env[a], env[b], out=out))
+
+
+@_register_bwd("matmul")
+def _b_matmul(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    env = prog._env
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+        if a in var:
+            _gacc(genv, gowned, a,
+                  _unbroadcast(g @ np.swapaxes(env[b], -1, -2),
+                               _grad_target_shape(prog, sa, n)), True)
+        if b in var:
+            _gacc(genv, gowned, b,
+                  _unbroadcast(np.swapaxes(env[a], -1, -2) @ g,
+                               _grad_target_shape(prog, sb, n)), True)
+    return run
+
+
+# ---- elementwise math ------------------------------------------------- #
+@_register("exp")
+def _f_exp(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.exp(env[a], out=out))
+
+
+@_register_bwd("exp")
+def _b_exp(prog, op):
+    a, = op.inputs
+    o = op.out
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, o=o):
+        _gacc(genv, gowned, a, g * env[o], True)
+    return run
+
+
+@_register("log")
+def _f_log(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.log(env[a], out=out))
+
+
+@_register_bwd("log")
+def _b_log(prog, op):
+    a, = op.inputs
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a):
+        _gacc(genv, gowned, a, g / env[a], True)
+    return run
+
+
+@_register("sqrt")
+def _f_sqrt(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.sqrt(env[a], out=out))
+
+
+@_register_bwd("sqrt")
+def _b_sqrt(prog, op):
+    a, = op.inputs
+    o = op.out
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, o=o):
+        _gacc(genv, gowned, a, g * 0.5 / env[o], True)
+    return run
+
+
+@_register("tanh")
+def _f_tanh(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.tanh(env[a], out=out))
+
+
+@_register_bwd("tanh")
+def _b_tanh(prog, op):
+    a, = op.inputs
+    o = op.out
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, o=o):
+        v = env[o]
+        _gacc(genv, gowned, a, g * (1.0 - v * v), True)
+    return run
+
+
+@_register("sigmoid")
+def _f_sigmoid(prog, op):
+    a, = op.inputs
+    env = prog._env
+
+    def call(out):
+        v = np.exp(np.negative(env[a], out=out), out=out)
+        np.add(v, 1.0, out=v)
+        return np.divide(1.0, v, out=v)
+    return _ufunc_fwd(prog, op, call)
+
+
+@_register_bwd("sigmoid")
+def _b_sigmoid(prog, op):
+    a, = op.inputs
+    o = op.out
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, o=o):
+        v = env[o]
+        _gacc(genv, gowned, a, g * v * (1.0 - v), True)
+    return run
+
+
+@_register("relu")
+def _f_relu(prog, op):
+    a, = op.inputs
+    env = prog._env
+    return _ufunc_fwd(prog, op, lambda out: np.maximum(env[a], 0.0, out=out))
+
+
+@_register_bwd("relu")
+def _b_relu(prog, op):
+    a, = op.inputs
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a):
+        _gacc(genv, gowned, a, g * (env[a] > 0), True)
+    return run
+
+
+# ---- reductions / shape ---------------------------------------------- #
+@_register("sum")
+def _f_sum(prog, op):
+    a, = op.inputs
+    ax = op.attrs["axis"]
+    kd = op.attrs["keepdims"]
+    env = prog._env
+    return _ufunc_fwd(prog, op,
+                      lambda out: np.sum(env[a], axis=ax, keepdims=kd, out=out))
+
+
+@_register_bwd("sum")
+def _b_sum(prog, op):
+    a, = op.inputs
+    ax = op.attrs["axis"]
+    kd = op.attrs["keepdims"]
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, ax=ax, kd=kd):
+        shape = env[a].shape
+        if ax is None:
+            arr = (np.broadcast_to(g, shape).copy() if np.ndim(g)
+                   else np.full(shape, g, dtype=g.dtype))
+        else:
+            if not kd:
+                g = np.expand_dims(g, ax)
+            arr = np.broadcast_to(g, shape).copy()
+        _gacc(genv, gowned, a, arr, True)
+    return run
+
+
+@_register("reshape")
+def _f_reshape(prog, op):
+    a, = op.inputs
+    env = prog._env
+    if not (prog._batched(op.in_shapes[0]) and prog._batched(op.out_shape)):
+        raise GraphUnsupported("reshape mixing the batch dim is not replayable")
+    tpl = (-1,) + op.out_shape[1:]
+
+    def run(n, a=a, o=op.out, tpl=tpl):
+        env[o] = env[a].reshape(tpl)
+    return run
+
+
+@_register_bwd("reshape")
+def _b_reshape(prog, op):
+    a, = op.inputs
+    tpl = (-1,) + op.in_shapes[0][1:]
+
+    def run(g, genv, gowned, n, a=a, tpl=tpl):
+        arr = g.reshape(tpl)
+        _gacc(genv, gowned, a, arr, False)
+    return run
+
+
+@_register("transpose")
+def _f_transpose(prog, op):
+    a, = op.inputs
+    axes = tuple(op.attrs["axes"])
+    if axes[0] != 0:
+        raise GraphUnsupported("transpose moving the batch dim is not replayable")
+    env = prog._env
+
+    def run(n, a=a, o=op.out, axes=axes):
+        env[o] = env[a].transpose(axes)
+    return run
+
+
+@_register_bwd("transpose")
+def _b_transpose(prog, op):
+    a, = op.inputs
+    inv = tuple(np.argsort(op.attrs["axes"]))
+
+    def run(g, genv, gowned, n, a=a, inv=inv):
+        _gacc(genv, gowned, a, g.transpose(inv), False)
+    return run
+
+
+@_register("concat")
+def _f_concat(prog, op):
+    axis = op.attrs["axis"]
+    if axis == 0:
+        raise GraphUnsupported("concat along the batch dim is not replayable")
+    env = prog._env
+    ins = op.inputs
+    prog._register_buf(op.out, op.out_shape[1:])
+
+    def run(n, ins=ins, o=op.out, axis=axis):
+        env[o] = np.concatenate([env[i] for i in ins], axis=axis,
+                                out=prog._slot(o, n))
+    return run
+
+
+@_register_bwd("concat")
+def _b_concat(prog, op):
+    axis = op.attrs["axis"]
+    var = prog._var_set
+    sizes = [s[axis] for s in op.in_shapes]
+    offsets = np.cumsum([0] + sizes)
+    spans = [(op.inputs[i], int(offsets[i]), int(offsets[i + 1]))
+             for i in range(len(op.inputs))]
+
+    def run(g, genv, gowned, n, spans=spans, axis=axis):
+        for nid, s, e in spans:
+            if nid in var:
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(s, e)
+                _gacc(genv, gowned, nid, g[tuple(sl)], False)
+    return run
+
+
+# ---- fake quantization ------------------------------------------------ #
+@_register("fake_quant")
+def _f_fake_quant(prog, op):
+    a, = op.inputs
+    qp = op.attrs["qp"]
+    ndim = len(op.in_shapes[0])
+    s = qp.scale_for(ndim)
+    z = qp.zero_point_for(ndim)
+    env = prog._env
+    if not prog._batched(op.out_shape):  # pragma: no cover - defensive
+        from ..quantization.affine import fake_quantize_array
+
+        def run(n, a=a, o=op.out, qp=qp):
+            env[o] = fake_quantize_array(env[a], qp)
+        return run
+    # Fused in-place round trip.  ``fake_quantize_array`` detours through
+    # int32, but round+clip already leaves exactly integral float64
+    # values, so skipping the integer cast is bitwise-identical — while a
+    # single scratch buffer replaces its eight temporaries.
+    prog._register_buf(("fq_scratch", op.out), op.out_shape[1:])
+    scratch_dtype = np.float64
+    prog._bufs[("fq64", op.out)] = None
+
+    def run(n, a=a, o=op.out, s=s, z=z, lo=qp.qmin, hi=qp.qmax):
+        t = prog._bufs.get(("fq64", o))
+        if t is None or len(t) < n:
+            t = np.empty((max(n, prog._alloc_n),) + op.out_shape[1:],
+                         dtype=scratch_dtype)
+            prog._bufs[("fq64", o)] = t
+        t = t[:n]
+        np.divide(env[a], s, out=t)
+        np.round(t, out=t)
+        t += z
+        np.clip(t, lo, hi, out=t)
+        t -= z
+        t *= s
+        out = prog._slot(("fq_scratch", o), n)
+        np.copyto(out, t)
+        env[o] = out
+    return run
+
+
+@_register_bwd("fake_quant")
+def _b_fake_quant(prog, op):
+    a, = op.inputs
+    qp = op.attrs["qp"]
+    ndim = len(op.in_shapes[0])
+    s = qp.scale_for(ndim)
+    z = qp.zero_point_for(ndim)
+    lo = (qp.qmin - z) * s
+    hi = (qp.qmax - z) * s
+    env = prog._env
+
+    def run(g, genv, gowned, n, a=a, lo=lo, hi=hi):
+        x = env[a]
+        _gacc(genv, gowned, a, g * ((x >= lo) & (x <= hi)), True)
+    return run
+
+
+# ---- convolution ------------------------------------------------------ #
+def _conv_wmats(prog, op, ctx) -> None:
+    """(Re)build the cached weight matrices for a conv node.
+
+    The folded weight is constant across replays, so the
+    ``weight.reshape(F, K)`` matrix (and the transposed view the forward
+    matmul consumes) is built once per compile/refresh instead of per
+    step — the same views the eager kernel builds, so the BLAS calls
+    stay bitwise-identical to the tape.
+    """
+    w = prog._env[op.inputs[1]]
+    F, Cg, kh, kw = w.shape
+    if op.attrs["groups"] == 1:
+        wmat_g = w.reshape(F, Cg * kh * kw)
+        ctx["wmat"] = wmat_g.T
+    else:
+        G = op.attrs["groups"]
+        wmat_g = w.reshape(G, F // G, Cg * kh * kw)
+        ctx["wmat"] = wmat_g
+    ctx["wmat_g"] = wmat_g              # gradient layout
+
+
+@_register("conv2d")
+def _f_conv2d(prog, op):
+    x_id, w_id = op.inputs[0], op.inputs[1]
+    if w_id in prog._var_set:
+        raise GraphUnsupported("input-dependent conv weights are not replayable")
+    b_id = op.inputs[2] if op.attrs["has_bias"] else None
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    groups = op.attrs["groups"]
+    _, C, H, W = op.in_shapes[0]
+    F, Cg, kh, kw = op.in_shapes[1]
+    oh, ow = op.out_shape[2], op.out_shape[3]
+    env = prog._env
+    ctx = prog._ctx[op.out]
+    # Borders of the padded input are constant zeros: keep a pre-filled
+    # padded buffer and write only the interior each replay (cheaper
+    # than np.pad, bitwise-identical values).
+    if ph or pw:
+        prog._register_buf(("conv_pad", op.out),
+                           (C, H + 2 * ph, W + 2 * pw), fill=0.0)
+
+    def padded_input(n, x_id=x_id, o=op.out):
+        if not (ph or pw):
+            return env[x_id]
+        pb = prog._slot(("conv_pad", o), n)
+        pb[:, :, ph:ph + H, pw:pw + W] = env[x_id]
+        return pb
+
+    if groups == 1:
+        prog._register_buf(("conv_cols", op.out), (oh, ow, C * kh * kw))
+        prog._register_buf(op.out, (oh, ow, F))
+
+        def run(n, x_id=x_id, b_id=b_id, o=op.out):
+            if "wmat" not in ctx:
+                _conv_wmats(prog, op, ctx)
+            cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
+            scratch = prog._slot(("conv_cols", o), n)
+            np.copyto(scratch.reshape(n, oh, ow, C, kh, kw),
+                      cols.transpose(0, 4, 5, 1, 2, 3))
+            obuf = prog._slot(o, n)
+            np.matmul(scratch, ctx["wmat"], out=obuf)
+            if b_id is not None:
+                obuf += env[b_id]
+            env[o] = obuf.transpose(0, 3, 1, 2)
+    else:
+        G = groups
+        Fg = F // G
+        prog._register_buf(("conv_cols", op.out), (G, oh, ow, Cg * kh * kw))
+        prog._register_buf(op.out, (G, Fg, oh, ow))
+
+        def run(n, x_id=x_id, b_id=b_id, o=op.out):
+            if "wmat" not in ctx:
+                _conv_wmats(prog, op, ctx)
+            cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
+            colsg = cols.reshape(n, G, Cg, kh, kw, oh, ow)
+            scratch = prog._slot(("conv_cols", o), n)
+            np.copyto(scratch.reshape(n, G, oh, ow, Cg, kh, kw),
+                      colsg.transpose(0, 1, 5, 6, 2, 3, 4))
+            obuf = prog._slot(o, n)
+            np.einsum("ngxyk,gfk->ngfxy", scratch, ctx["wmat"],
+                      out=obuf, optimize=True)
+            out = obuf.reshape(n, F, oh, ow)
+            if b_id is not None:
+                out = out + env[b_id].reshape(1, F, 1, 1)
+            env[o] = out
+    return run
+
+
+@_register_bwd("conv2d")
+def _b_conv2d(prog, op):
+    x_id = op.inputs[0]
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    groups = op.attrs["groups"]
+    _, C, H, W = op.in_shapes[0]
+    F, Cg, kh, kw = op.in_shapes[1]
+    oh, ow = op.out_shape[2], op.out_shape[3]
+    ctx = prog._ctx[op.out]
+    if groups == 1:
+        def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+            gm = g.transpose(0, 2, 3, 1)                       # (n,OH,OW,F)
+            # the forward's im2col scratch is dead by now: reuse it
+            dcols2 = prog._slot(("conv_cols", o), n)
+            np.matmul(gm, ctx["wmat_g"], out=dcols2)           # (n,OH,OW,K)
+            dcols = dcols2.reshape(n, oh, ow, C, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+            _gacc(genv, gowned, x_id,
+                  _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+    else:
+        G = groups
+        Fg = F // G
+
+        def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+            gg = g.reshape(n, G, Fg, oh, ow)
+            dcols2 = prog._slot(("conv_cols", o), n)
+            np.einsum("ngfxy,gfk->ngxyk", gg, ctx["wmat_g"],
+                      out=dcols2, optimize=True)
+            dcols = dcols2.reshape(n, G, oh, ow, Cg, kh, kw)
+            dcols = dcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(n, C, kh, kw, oh, ow)
+            _gacc(genv, gowned, x_id,
+                  _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+    return run
+
+
+# ---- pooling ---------------------------------------------------------- #
+@_register("max_pool2d")
+def _f_max_pool2d(prog, op):
+    a, = op.inputs
+    kh, kw = op.attrs["kernel"]
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    C = op.in_shapes[0][1]
+    H, W = op.in_shapes[0][2], op.in_shapes[0][3]
+    oh, ow = op.out_shape[2], op.out_shape[3]
+    env = prog._env
+    ctx = prog._ctx[op.out]
+    prog._register_buf(op.out, op.out_shape[1:])
+    if ph or pw:
+        # constant -inf borders, interior rewritten each replay
+        prog._register_buf(("pool_pad", op.out),
+                           (C, H + 2 * ph, W + 2 * pw), fill=-np.inf)
+
+    def run(n, a=a, o=op.out):
+        xd = env[a]
+        if ph or pw:
+            pb = prog._slot(("pool_pad", o), n)
+            pb[:, :, ph:ph + H, pw:pw + W] = xd
+            xd = pb
+        cols, _ = _im2col(xd, kh, kw, sh, sw, 0, 0)
+        flat = cols.transpose(0, 1, 4, 5, 2, 3).reshape(n, C, oh, ow, kh * kw)
+        arg = flat.argmax(axis=-1)
+        ctx["arg"] = arg
+        out = prog._slot(o, n)
+        np.copyto(out, np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0])
+        env[o] = out
+    return run
+
+
+@_register_bwd("max_pool2d")
+def _b_max_pool2d(prog, op):
+    a, = op.inputs
+    kh, kw = op.attrs["kernel"]
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    C = op.in_shapes[0][1]
+    H, W = op.in_shapes[0][2], op.in_shapes[0][3]
+    oh, ow = op.out_shape[2], op.out_shape[3]
+    ctx = prog._ctx[op.out]
+
+    def run(g, genv, gowned, n, a=a):
+        arg = ctx["arg"]
+        dflat = np.zeros((n, C, oh, ow, kh * kw), dtype=g.dtype)
+        np.put_along_axis(dflat, arg[..., None], g[..., None], axis=-1)
+        dcols = dflat.reshape(n, C, oh, ow, kh, kw).transpose(0, 1, 4, 5, 2, 3)
+        _gacc(genv, gowned, a,
+              _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+    return run
+
+
+@_register("avg_pool2d")
+def _f_avg_pool2d(prog, op):
+    a, = op.inputs
+    kh, kw = op.attrs["kernel"]
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    env = prog._env
+    prog._register_buf(op.out, op.out_shape[1:])
+
+    def run(n, a=a, o=op.out):
+        cols, _ = _im2col(env[a], kh, kw, sh, sw, ph, pw)
+        out = prog._slot(o, n)
+        cols.mean(axis=(2, 3), out=out)
+        env[o] = out
+    return run
+
+
+@_register_bwd("avg_pool2d")
+def _b_avg_pool2d(prog, op):
+    a, = op.inputs
+    kh, kw = op.attrs["kernel"]
+    sh, sw = op.attrs["stride"]
+    ph, pw = op.attrs["padding"]
+    C = op.in_shapes[0][1]
+    H, W = op.in_shapes[0][2], op.in_shapes[0][3]
+    oh, ow = op.out_shape[2], op.out_shape[3]
+
+    def run(g, genv, gowned, n, a=a):
+        dcols = np.broadcast_to(
+            g[:, :, None, None, :, :] / (kh * kw), (n, C, kh, kw, oh, ow)
+        ).astype(g.dtype)
+        _gacc(genv, gowned, a,
+              _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+    return run

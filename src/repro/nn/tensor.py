@@ -35,6 +35,18 @@ def get_default_dtype():
     return _DEFAULT_DTYPE
 
 
+# --------------------------------------------------------------------- #
+# graph-tracing hook (see repro.nn.graph)
+#
+# While a tracer is installed, every instrumented op reports
+# (kind, input tensors, output tensor, attrs) right after executing, in
+# execution order — which is already a valid topological order of the
+# tape.  The guard is a single global ``is not None`` check, so the
+# eager hot path pays (almost) nothing when not tracing.
+# --------------------------------------------------------------------- #
+_GRAPH_TRACER = None
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
 
@@ -125,7 +137,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() called on tensor of size {self.data.size}; only "
+                "single-element tensors can be converted to a Python scalar")
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """A new tensor sharing data but cut off from the tape."""
@@ -145,9 +161,20 @@ class Tensor:
         req = any(p.requires_grad for p in parents)
         return Tensor(data, requires_grad=req, _parents=tuple(parents) if req else ())
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``owned=True`` promises the caller holds the only reference to
+        ``grad``'s storage (a freshly allocated array), so it can be
+        adopted directly instead of defensively copied — a measurable
+        allocation win on deep backward passes.  Views of upstream
+        gradients must be passed with ``owned=False``.
+        """
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -198,10 +225,14 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, b=other):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g, a.shape))
+                    ga = _unbroadcast(g, a.shape)
+                    a._accumulate(ga, owned=ga is not g)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(g, b.shape))
+                    gb = _unbroadcast(g, b.shape)
+                    b._accumulate(gb, owned=gb is not g)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("add", (self, other), out, None)
         return out
 
     __radd__ = __add__
@@ -211,8 +242,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self):
                 if a.requires_grad:
-                    a._accumulate(-g)
+                    a._accumulate(-g, owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("neg", (self,), out, None)
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
@@ -221,10 +254,13 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, b=other):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g, a.shape))
+                    ga = _unbroadcast(g, a.shape)
+                    a._accumulate(ga, owned=ga is not g)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(-g, b.shape))
+                    b._accumulate(_unbroadcast(-g, b.shape), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("sub", (self, other), out, None)
         return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -236,10 +272,12 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, b=other):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g * b.data, a.shape))
+                    a._accumulate(_unbroadcast(g * b.data, a.shape), owned=True)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(g * a.data, b.shape))
+                    b._accumulate(_unbroadcast(g * a.data, b.shape), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("mul", (self, other), out, None)
         return out
 
     __rmul__ = __mul__
@@ -250,10 +288,13 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, b=other):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g / b.data, a.shape))
+                    a._accumulate(_unbroadcast(g / b.data, a.shape), owned=True)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(-g * a.data / (b.data ** 2), b.shape))
+                    b._accumulate(_unbroadcast(-g * a.data / (b.data ** 2), b.shape),
+                                  owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("div", (self, other), out, None)
         return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
@@ -266,8 +307,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, e=exponent):
                 if a.requires_grad:
-                    a._accumulate(g * e * (a.data ** (e - 1)))
+                    a._accumulate(g * e * (a.data ** (e - 1)), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("pow", (self,), out, {"exponent": exponent})
         return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
@@ -280,14 +323,16 @@ class Tensor:
                         ga = np.outer(g, b.data) if a.data.ndim == 2 else g * b.data
                     else:
                         ga = g @ np.swapaxes(b.data, -1, -2)
-                    a._accumulate(_unbroadcast(ga, a.shape))
+                    a._accumulate(_unbroadcast(ga, a.shape), owned=True)
                 if b.requires_grad:
                     if a.data.ndim == 1:
                         gb = np.outer(a.data, g) if b.data.ndim == 2 else g * a.data
                     else:
                         gb = np.swapaxes(a.data, -1, -2) @ g
-                    b._accumulate(_unbroadcast(gb, b.shape))
+                    b._accumulate(_unbroadcast(gb, b.shape), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("matmul", (self, other), out, None)
         return out
 
     # ------------------------------------------------------------------ #
@@ -299,8 +344,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, v=val):
                 if a.requires_grad:
-                    a._accumulate(g * v)
+                    a._accumulate(g * v, owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("exp", (self,), out, None)
         return out
 
     def log(self) -> "Tensor":
@@ -308,8 +355,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self):
                 if a.requires_grad:
-                    a._accumulate(g / a.data)
+                    a._accumulate(g / a.data, owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("log", (self,), out, None)
         return out
 
     def sqrt(self) -> "Tensor":
@@ -318,8 +367,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, v=val):
                 if a.requires_grad:
-                    a._accumulate(g * 0.5 / v)
+                    a._accumulate(g * 0.5 / v, owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("sqrt", (self,), out, None)
         return out
 
     def abs(self) -> "Tensor":
@@ -327,7 +378,7 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self):
                 if a.requires_grad:
-                    a._accumulate(g * np.sign(a.data))
+                    a._accumulate(g * np.sign(a.data), owned=True)
             out._backward = _bw
         return out
 
@@ -337,8 +388,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, v=val):
                 if a.requires_grad:
-                    a._accumulate(g * (1.0 - v * v))
+                    a._accumulate(g * (1.0 - v * v), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("tanh", (self,), out, None)
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -347,8 +400,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, v=val):
                 if a.requires_grad:
-                    a._accumulate(g * v * (1.0 - v))
+                    a._accumulate(g * v * (1.0 - v), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("sigmoid", (self,), out, None)
         return out
 
     def relu(self) -> "Tensor":
@@ -357,8 +412,10 @@ class Tensor:
         if out.requires_grad:
             def _bw(g, a=self, m=mask):
                 if a.requires_grad:
-                    a._accumulate(g * m)
+                    a._accumulate(g * m, owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("relu", (self,), out, None)
         return out
 
     def maximum(self, other: ArrayLike) -> "Tensor":
@@ -368,9 +425,9 @@ class Tensor:
             mask = self.data >= other.data
             def _bw(g, a=self, b=other, m=mask):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g * m, a.shape))
+                    a._accumulate(_unbroadcast(g * m, a.shape), owned=True)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(g * (~m), b.shape))
+                    b._accumulate(_unbroadcast(g * (~m), b.shape), owned=True)
             out._backward = _bw
         return out
 
@@ -381,9 +438,9 @@ class Tensor:
             mask = self.data <= other.data
             def _bw(g, a=self, b=other, m=mask):
                 if a.requires_grad:
-                    a._accumulate(_unbroadcast(g * m, a.shape))
+                    a._accumulate(_unbroadcast(g * m, a.shape), owned=True)
                 if b.requires_grad:
-                    b._accumulate(_unbroadcast(g * (~m), b.shape))
+                    b._accumulate(_unbroadcast(g * (~m), b.shape), owned=True)
             out._backward = _bw
         return out
 
@@ -395,7 +452,7 @@ class Tensor:
             mask = (self.data >= lo) & (self.data <= hi)
             def _bw(g, a=self, m=mask):
                 if a.requires_grad:
-                    a._accumulate(g * m)
+                    a._accumulate(g * m, owned=True)
             out._backward = _bw
         return out
 
@@ -410,12 +467,16 @@ class Tensor:
                     return
                 if ax is None:
                     a._accumulate(np.broadcast_to(g, a.shape).copy()
-                                  if np.ndim(g) else np.full(a.shape, g, dtype=a.dtype))
+                                  if np.ndim(g) else np.full(a.shape, g, dtype=a.dtype),
+                                  owned=True)
                 else:
                     if not kd:
                         g = np.expand_dims(g, ax)
-                    a._accumulate(np.broadcast_to(g, a.shape).copy())
+                    a._accumulate(np.broadcast_to(g, a.shape).copy(), owned=True)
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("sum", (self,), out,
+                               {"axis": axis, "keepdims": keepdims})
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -440,14 +501,14 @@ class Tensor:
                 mask = a.data == vv
                 # Ties split the gradient evenly (matches subgradient choice).
                 counts = mask.sum(axis=ax, keepdims=True) if ax is not None else mask.sum()
-                a._accumulate(np.where(mask, gg / counts, 0.0))
+                a._accumulate(np.where(mask, gg / counts, 0.0), owned=True)
             out._backward = _bw
         return out
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mu = self.mean(axis=axis, keepdims=True)
-        sq = (self - mu) * (self - mu)
-        return sq.mean(axis=axis, keepdims=keepdims)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------ #
     # shape ops
@@ -461,6 +522,8 @@ class Tensor:
                 if a.requires_grad:
                     a._accumulate(g.reshape(a.shape))
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("reshape", (self,), out, None)
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -475,6 +538,8 @@ class Tensor:
                 if a.requires_grad:
                     a._accumulate(g.transpose(iv))
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("transpose", (self,), out, {"axes": axes})
         return out
 
     @property
@@ -505,7 +570,7 @@ class Tensor:
                 if a.requires_grad:
                     full = np.zeros_like(a.data)
                     np.add.at(full, ix, g)
-                    a._accumulate(full)
+                    a._accumulate(full, owned=True)
             out._backward = _bw
         return out
 
@@ -519,7 +584,7 @@ class Tensor:
                 if a.requires_grad:
                     full = np.zeros_like(a.data)
                     np.add.at(full, (r, c), g)
-                    a._accumulate(full)
+                    a._accumulate(full, owned=True)
             out._backward = _bw
         return out
 
@@ -540,6 +605,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                     sl[ax] = slice(int(s), int(e))
                     t._accumulate(g[tuple(sl)])
         out._backward = _bw
+    if _GRAPH_TRACER is not None:
+        _GRAPH_TRACER.emit("concat", tuple(tensors), out, {"axis": axis})
     return out
 
 

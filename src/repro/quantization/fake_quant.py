@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn import tensor as _tensor
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 from .affine import QuantParams, fake_quantize_array
@@ -35,8 +36,10 @@ def fake_quant_ste(x: Tensor, qp: QuantParams) -> Tensor:
 
         def _bw(g, x=x, m=mask):
             if x.requires_grad:
-                x._accumulate(g * m)
+                x._accumulate(g * m, owned=True)
         out._backward = _bw
+    if _tensor._GRAPH_TRACER is not None:
+        _tensor._GRAPH_TRACER.emit("fake_quant", (x,), out, {"qp": qp})
     return out
 
 

@@ -1,4 +1,10 @@
-"""Batched inference and accuracy evaluation."""
+"""Batched inference and accuracy evaluation.
+
+All predictors accept an optional pre-compiled executor
+(:func:`repro.nn.graph.compile_forward`) so repeated evaluation of a
+frozen model can skip tape construction entirely; :func:`compile_inference`
+builds one best-effort.  Without an executor, behaviour is unchanged.
+"""
 
 from __future__ import annotations
 
@@ -11,40 +17,60 @@ from ..nn.module import Module
 from ..nn.tensor import Tensor
 
 
-def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+def compile_inference(model: Module, example: np.ndarray):
+    """Best-effort compiled forward for repeated inference.
+
+    Returns None when the model cannot be compiled (unsupported ops,
+    train-mode statistics, validation mismatch); callers then use the
+    eager path.  The executor snapshots parameters — recompile or call
+    ``.refresh()`` after training the model further.
+    """
+    from ..nn.graph import compile_forward_or_none
+    return compile_forward_or_none(model, example)
+
+
+def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128,
+                   executor=None) -> np.ndarray:
     """Forward the whole array in eval mode; returns (N, classes) logits."""
     was_training = getattr(model, "training", False)
     model.eval()
     outs = []
     for start in range(0, len(x), batch_size):
-        outs.append(model(Tensor(x[start:start + batch_size])).data.copy())
+        xb = x[start:start + batch_size]
+        if executor is not None:
+            outs.append(executor.replay(xb))
+        else:
+            outs.append(model(Tensor(xb)).data.copy())
     if was_training:
         model.train()
     return np.concatenate(outs, axis=0)
 
 
-def predict_probs(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+def predict_probs(model: Module, x: np.ndarray, batch_size: int = 128,
+                  executor=None) -> np.ndarray:
     """Softmax probabilities, batched."""
-    logits = predict_logits(model, x, batch_size)
+    logits = predict_logits(model, x, batch_size, executor=executor)
     shifted = logits - logits.max(axis=1, keepdims=True)
     e = np.exp(shifted)
     return e / e.sum(axis=1, keepdims=True)
 
 
-def predict_labels(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    return predict_logits(model, x, batch_size).argmax(axis=1)
+def predict_labels(model: Module, x: np.ndarray, batch_size: int = 128,
+                   executor=None) -> np.ndarray:
+    return predict_logits(model, x, batch_size, executor=executor).argmax(axis=1)
 
 
 def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
-                      batch_size: int = 128) -> float:
+                      batch_size: int = 128, executor=None) -> float:
     """Top-1 accuracy in [0, 1]."""
-    return float((predict_labels(model, x, batch_size) == np.asarray(y)).mean())
+    return float((predict_labels(model, x, batch_size, executor=executor)
+                  == np.asarray(y)).mean())
 
 
 def evaluate_topk_accuracy(model: Module, x: np.ndarray, y: np.ndarray, k: int = 5,
-                           batch_size: int = 128) -> float:
+                           batch_size: int = 128, executor=None) -> float:
     """Top-k accuracy in [0, 1]."""
-    logits = predict_logits(model, x, batch_size)
+    logits = predict_logits(model, x, batch_size, executor=executor)
     topk = np.argsort(-logits, axis=1)[:, :k]
     return float((topk == np.asarray(y)[:, None]).any(axis=1).mean())
 

@@ -1,0 +1,288 @@
+"""Compiled forward executor: parity with the eager tape, fallback
+behaviour, and the attack loop's model-pass accounting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import DIVA, PGD
+from repro.models import build_model
+from repro.nn import Tensor, where
+from repro.nn.graph import CompiledForward, GraphUnsupported, compile_forward
+from repro.nn.module import Module
+
+
+MODEL_CONFIGS = {
+    "lenet": (dict(num_classes=6, in_channels=1, image_size=12, width=4),
+              (5, 1, 12, 12)),
+    "resnet": (dict(num_classes=6, width=4), (5, 3, 12, 12)),
+    "mobilenet": (dict(num_classes=6, width=4), (5, 3, 12, 12)),
+    "densenet": (dict(num_classes=6, width=4, growth=3), (5, 3, 12, 12)),
+    "vggface": (dict(num_identities=8, image_size=16, width=4, embed_dim=8),
+                (5, 3, 16, 16)),
+}
+
+
+def _build(name):
+    kwargs, shape = MODEL_CONFIGS[name]
+    model = build_model(name, **kwargs)
+    model.eval()
+    rng = np.random.default_rng(7)
+    return model, rng.random(shape)
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("name", sorted(MODEL_CONFIGS))
+    def test_forward_matches_eager(self, name):
+        model, x = _build(name)
+        ex = compile_forward(model, x)
+        ref = model(Tensor(x)).data
+        got = ex.replay(x)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CONFIGS))
+    def test_input_grad_matches_eager(self, name):
+        model, x = _build(name)
+        ex = compile_forward(model, x)
+        rng = np.random.default_rng(3)
+        xt = Tensor(x, requires_grad=True)
+        out = model(xt)
+        seed = rng.normal(size=out.shape)
+        out.backward(seed)
+        got_out, got_gx = ex.value_and_input_grad(x, seed)
+        np.testing.assert_allclose(got_out, out.data, rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(got_gx, xt.grad, rtol=1e-6, atol=1e-6)
+
+    def test_variable_batch_replay(self):
+        model, x = _build("resnet")
+        ex = compile_forward(model, x)
+        ref = model(Tensor(x)).data
+        # shrinking batches replay against the same buffers
+        for n in (len(x), 3, 1):
+            np.testing.assert_allclose(ex.replay(x[:n]), ref[:n],
+                                       rtol=1e-6, atol=1e-6)
+        # growing past the traced size reallocates
+        x_big = np.concatenate([x, x], axis=0)
+        ref_big = model(Tensor(x_big)).data
+        np.testing.assert_allclose(ex.replay(x_big), ref_big,
+                                   rtol=1e-6, atol=1e-6)
+
+    def test_quantized_model_parity(self):
+        from repro.quantization import calibrate, prepare_qat
+        model, x = _build("resnet")
+        qat = prepare_qat(model, weight_bits=4, per_channel=False)
+        calibrate(qat, x)
+        qat.freeze()
+        qat.eval()
+        ex = compile_forward(qat, x)
+        ref = qat(Tensor(x)).data
+        np.testing.assert_allclose(ex.replay(x), ref, rtol=1e-6, atol=1e-6)
+        xt = Tensor(x, requires_grad=True)
+        out = qat(xt)
+        seed = np.ones_like(out.data)
+        out.backward(seed)
+        _, gx = ex.value_and_input_grad(x, seed)
+        np.testing.assert_allclose(gx, xt.grad, rtol=1e-6, atol=1e-6)
+
+    def test_pruned_model_parity(self):
+        """Pruning masks are part of the folded constant subgraph."""
+        model, x = _build("lenet")
+        rng = np.random.default_rng(0)
+        mask = (rng.random(model.conv1.weight.shape) > 0.5).astype(np.float64)
+        model.conv1.set_weight_mask(mask)
+        ex = compile_forward(model, x)
+        np.testing.assert_allclose(ex.replay(x), model(Tensor(x)).data,
+                                   rtol=1e-6, atol=1e-6)
+
+    def test_refresh_picks_up_weight_mutation(self):
+        model, x = _build("lenet")
+        ex = compile_forward(model, x)
+        # rebinding .data (what load_state_dict does) invalidates the fold
+        model.fc3.weight.data = model.fc3.weight.data * 2.0
+        stale = ex.replay(x)
+        ex.refresh()
+        fresh = ex.replay(x)
+        ref = model(Tensor(x)).data
+        assert not np.allclose(stale, ref)
+        np.testing.assert_allclose(fresh, ref, rtol=1e-6, atol=1e-6)
+
+
+class TestFallback:
+    def test_unsupported_op_raises(self):
+        class WhereModel(Module):
+            def forward(self, x):
+                return where(x.data > 0.5, x, x * 0.5).sum(axis=(1, 2, 3),
+                                                           keepdims=True)
+
+        m = WhereModel()
+        with pytest.raises(GraphUnsupported):
+            compile_forward(m, np.random.default_rng(0).random((2, 1, 4, 4)))
+
+    def test_data_dependent_constant_caught_by_validation(self):
+        """A forward that smuggles input data through an untraced numpy
+        path must fail validation instead of silently freezing it."""
+        class Leaky(Module):
+            def forward(self, x):
+                shift = Tensor(x.data.max())       # escapes the tape
+                return (x - shift).sum(axis=(1, 2, 3), keepdims=True)
+
+        m = Leaky()
+        with pytest.raises(GraphUnsupported):
+            compile_forward(m, np.random.default_rng(0).random((2, 1, 4, 4)))
+
+    def test_non_module_model_falls_back_in_attacks(self):
+        from repro.attacks.base import compile_model
+
+        class NotATensorModel:
+            def eval(self):
+                return self
+
+            def __call__(self, x):
+                return "nonsense"
+
+        assert compile_model(NotATensorModel(), np.zeros((2, 1, 4, 4))) is None
+
+
+class SpyModel(Module):
+    """Counts forward calls through a wrapped model."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self.calls = 0
+
+    def forward(self, x):
+        self.calls += 1
+        return self.inner(x)
+
+
+class _NeverSucceedsPGD(PGD):
+    """PGD whose success criterion never fires: the loop runs all steps,
+    so the model-pass count is exactly deterministic."""
+
+    def success_from_logits(self, aux, y):
+        if aux is None:
+            return None
+        return np.zeros(len(y), dtype=bool)
+
+    def is_success(self, x_adv, y):
+        return np.zeros(len(x_adv), dtype=bool)
+
+
+class _NeverSucceedsDIVA(DIVA):
+    def success_from_logits(self, aux, y):
+        if aux is None:
+            return None
+        return np.zeros(len(y), dtype=bool)
+
+    def is_success(self, x_adv, y):
+        return np.zeros(len(x_adv), dtype=bool)
+
+
+class TestAttackModelPasses:
+    """Regression: ``generate`` with keep_best performs exactly the
+    expected number of model forward passes."""
+
+    def _setup(self):
+        model, x = _build("resnet")
+        rng = np.random.default_rng(5)
+        y = rng.integers(0, 6, size=len(x))
+        return model, x, y
+
+    def test_pgd_eager_passes_steps_plus_one(self):
+        model, x, y = self._setup()
+        steps = 7
+        spy = SpyModel(model)
+        atk = _NeverSucceedsPGD(spy, steps=steps, eps=0.1, alpha=0.01)
+        atk.use_compiled = False
+        atk.generate(x, y)
+        # one gradient pass per step + one trailing success forward;
+        # the old loop paid 2 * steps
+        assert spy.calls == steps + 1
+
+    def test_pgd_no_keep_best_passes_steps(self):
+        model, x, y = self._setup()
+        steps = 5
+        spy = SpyModel(model)
+        atk = PGD(spy, steps=steps, eps=0.1, alpha=0.01, keep_best=False)
+        atk.use_compiled = False
+        atk.generate(x, y)
+        assert spy.calls == steps
+
+    def test_diva_eager_passes_steps_plus_one_per_model(self):
+        model, x, y = self._setup()
+        from repro.quantization import calibrate, prepare_qat
+        qat = prepare_qat(model, weight_bits=4, per_channel=False)
+        calibrate(qat, x)
+        qat.freeze()
+        qat.eval()
+        steps = 6
+        spy_o, spy_a = SpyModel(model), SpyModel(qat)
+        atk = _NeverSucceedsDIVA(spy_o, spy_a, steps=steps, eps=0.1, alpha=0.01)
+        atk.use_compiled = False
+        atk.generate(x, y)
+        # 2 passes/step + the trailing check — the old loop paid 4/step
+        assert spy_o.calls == steps + 1
+        assert spy_a.calls == steps + 1
+
+    def test_compiled_path_runs_no_per_step_forwards(self):
+        model, x, y = self._setup()
+        steps = 9
+        spy = SpyModel(model)
+        atk = PGD(spy, steps=steps, eps=0.1, alpha=0.01)
+        atk.generate(x, y)
+        # tracing + compile-time validation only; replays never call
+        # the module again
+        assert spy.calls <= 3
+
+    def test_compiled_and_eager_generate_identically(self):
+        model, x, y = self._setup()
+        kw = dict(steps=6, eps=0.1, alpha=0.01)
+        fast = PGD(model, **kw).generate(x, y)
+        slow_atk = PGD(model, **kw)
+        slow_atk.use_compiled = False
+        slow = slow_atk.generate(x, y)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+
+class TestTensorSatellites:
+    def test_item_on_scalar(self):
+        assert Tensor(np.array([[3.5]])).item() == 3.5
+
+    def test_item_on_non_scalar_raises_value_error(self):
+        with pytest.raises(ValueError, match="size 4"):
+            Tensor(np.ones((2, 2))).item()
+
+    def test_var_builds_single_subtraction_node(self):
+        t = Tensor(np.random.default_rng(0).random((3, 4)), requires_grad=True)
+        v = t.var(axis=0)
+        sq = v._parents[0]          # mean -> sum node over the square
+        mul = sq._parents[0]
+        assert mul._parents[0] is mul._parents[1]  # (d * d) shares one node
+
+    def test_var_value_and_grad(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((4, 5))
+        t = Tensor(data, requires_grad=True)
+        v = t.var(axis=0)
+        np.testing.assert_allclose(v.data, data.var(axis=0), rtol=1e-12)
+        v.sum().backward()
+        n = data.shape[0]
+        expected = 2.0 * (data - data.mean(axis=0)) / n
+        np.testing.assert_allclose(t.grad, expected, rtol=1e-9, atol=1e-12)
+
+    def test_accumulate_owned_adopts_array(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        g = np.ones(3)
+        t._accumulate(g, owned=True)
+        assert t.grad is g          # adopted, not copied
+        t2 = Tensor(np.zeros(3), requires_grad=True)
+        t2._accumulate(g, owned=False)
+        assert t2.grad is not g     # defensively copied
+
+    def test_backward_values_unchanged_by_ownership(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.random((3, 3)), requires_grad=True)
+        b = Tensor(rng.random((3, 3)), requires_grad=True)
+        ((a * b + a).relu().sum()).backward()
+        ga = (b.data + 1.0) * ((a.data * b.data + a.data) > 0)
+        np.testing.assert_allclose(a.grad, ga, rtol=1e-12)
