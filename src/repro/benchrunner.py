@@ -49,7 +49,8 @@ def git_sha(root: Path) -> str:
         sha = out.stdout.strip()
         if out.returncode != 0 or not sha:
             return "nosha"
-        status = subprocess.run(["git", "status", "--porcelain"],
+        # tracked files only, matching `git describe --dirty` semantics
+        status = subprocess.run(["git", "status", "--porcelain", "-uno"],
                                 cwd=root, capture_output=True, text=True,
                                 timeout=10)
         if status.returncode == 0 and status.stdout.strip():
