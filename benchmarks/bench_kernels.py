@@ -135,6 +135,52 @@ def test_attack_step_cost_pgd_vs_diva(benchmark, attack_models):
     benchmark.extra_info["batch"] = len(x)
 
 
+def test_attack_sweep_vs_sequential(benchmark, attack_models):
+    """A 4-point (eps, c) grid: one ``generate_sweep`` against the
+    pre-engine per-configuration pattern (a fresh DIVA instance per grid
+    point, each compiling and stepping its own programs — the loop that
+    exp_fig7 / exp_sec55 / exp_table2 ran before the paired engine).
+    Both arms include program compilation, and the sweep's per-variant
+    outputs are asserted identical to the sequential ones.
+    """
+    from repro.attacks import DIVA
+    orig, quant, x, y = attack_models
+    steps = 10
+    grid = [{"c": 0.1}, {"c": 1.0}, {"eps": 16 / 255, "alpha": 2 / 255},
+            {"c": 5.0}]
+
+    def sequential():
+        outs = []
+        for v in grid:
+            atk = DIVA(orig, quant, c=v.get("c", 1.0),
+                       eps=v.get("eps", 8 / 255),
+                       alpha=v.get("alpha", 1 / 255), steps=steps)
+            outs.append(atk.generate(x, y))
+        return outs
+
+    def sweep():
+        return DIVA(orig, quant, c=1.0, eps=8 / 255, alpha=1 / 255,
+                    steps=steps).generate_sweep(x, y, grid)
+
+    ref = sequential()          # also warms BLAS/page caches
+    got = sweep()
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(a, b)
+
+    reps = 3
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        sequential()
+    seq_s = (time.perf_counter() - t0) / reps
+
+    benchmark(sweep)
+    sweep_s = benchmark.stats.stats.median
+    benchmark.extra_info["sweep_ms"] = sweep_s * 1e3
+    benchmark.extra_info["sequential_ms"] = seq_s * 1e3
+    benchmark.extra_info["sweep_speedup"] = seq_s / sweep_s
+    benchmark.extra_info["grid_points"] = len(grid)
+
+
 def test_edge_engine_inference(benchmark, cfg, pipeline):
     """Integer-path inference cost on the deployed face model."""
     edge = pipeline.face_edge()

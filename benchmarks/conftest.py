@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.experiments import ExperimentConfig, Pipeline
@@ -28,7 +30,10 @@ def _float32():
 
 @pytest.fixture(scope="session")
 def cfg():
-    return ExperimentConfig.paper_scale()
+    # benchmarks run the deployment dtype; the config carries it so the
+    # pipeline (and its artifact cache keys) agree with the fixture above
+    return dataclasses.replace(ExperimentConfig.paper_scale(),
+                               dtype="float32")
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,4 @@
-"""Shared attack machinery: L-inf projection, input gradients, batching.
+"""Shared attack machinery: L-inf projection, input gradients, scheduling.
 
 All attacks operate on pixel arrays in [0, 1] (NCHW) and return perturbed
 arrays of the same shape.  The attack budget follows the paper: L-inf
@@ -7,33 +7,52 @@ bound ``eps`` (default 8/255), per-step size ``alpha`` (default 1/255),
 
 Hot-loop economics (the §5.2 "attack speed" axis): a naive keep-best
 loop pays the gradient pass *and* a separate success-check forward per
-step — 4 model passes/step for DIVA, 2 for PGD.  The loop here instead
-reuses the logits that the gradient pass already produced
-(:meth:`Attack.gradient_with_logits` / :meth:`Attack.success_from_logits`),
-checks iterate *t* at the start of iteration *t+1*, and pays one single
-trailing forward for the final iterate — so DIVA is back to 2 model
-passes/step and PGD to 1, with bit-identical iterates.  Samples that
-already succeeded are dropped from subsequent gradient batches
-(``shrink_done``).  Subclasses additionally compile their frozen models
-into a replayable program (:mod:`repro.nn.graph`) and fall back to the
-eager tape whenever compilation is unsupported.
+step — 4 model passes/step for DIVA, 2 for PGD.  ``Attack.generate``
+instead runs the active-slot scheduler (:mod:`repro.attacks.engine`):
+each pass is one gradient batch whose logits double as the shifted
+keep-best success check (iterate *t* is checked by the pass that starts
+iteration *t + 1*), so DIVA pays exactly 2 model passes per step and
+PGD exactly 1 — the trailing success forward of older loops is gone
+because a sample that stops stepping at its first success already *is*
+the returned iterate.  Samples that succeed free their slot, which is
+refilled with pending samples from later batches (cross-batch work
+stealing), so the gradient batch stays full until the global tail.
+``Attack.generate_sweep`` tiles the batch across an (eps, c, ...)
+variant grid and feeds the same scheduler, sharing one compiled program
+pair and per-variant keep-best state across the whole grid.  All
+scheduling is value-neutral: per-sample trajectories are bit-identical
+to the classic one-batch-at-a-time loop.
+
+Subclasses compile their frozen models into replayable programs
+(:mod:`repro.nn.graph`) — DIVA-family attacks fuse the (original,
+adapted) pair into a :class:`~repro.attacks.engine.PairedExecutor` with
+shared scratch and one combined softmax-seeded backward — and fall back
+to the eager tape whenever compilation is unsupported.  Attacks with
+full-batch gradient state (momentum) keep the legacy per-batch loop
+(``shrink_done = False``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.module import Module
 from ..nn.tensor import Tensor
+from .engine import SCHEDULER_KEYS, _per_item, run_scheduled
 
 PIXEL_MIN = 0.0
 PIXEL_MAX = 1.0
 DEFAULT_EPS = 8.0 / 255.0
 DEFAULT_ALPHA = 1.0 / 255.0
 DEFAULT_STEPS = 20
+
+#: rows of the incoming batch used as the compile/validation example;
+#: compiled programs replay any batch size, so tracing a small slice
+#: keeps first-call latency flat in the batch size
+_COMPILE_EXAMPLE_ROWS = 8
 
 
 def project_linf(x_adv: np.ndarray, x_orig: np.ndarray, eps: float) -> np.ndarray:
@@ -117,8 +136,13 @@ class Attack:
     """
 
     #: drop already-successful samples from subsequent gradient batches;
-    #: attacks with full-batch gradient state (momentum) turn this off.
+    #: attacks with full-batch gradient state (momentum) turn this off,
+    #: which also opts them out of the slot scheduler and sweeps.
     shrink_done = True
+
+    #: attack-specific scalar parameters that :meth:`generate_sweep`
+    #: variants may override per item (e.g. DIVA's ``c``)
+    sweep_params: frozenset = frozenset()
 
     def __init__(self, eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
                  steps: int = DEFAULT_STEPS, random_start: bool = False,
@@ -143,13 +167,17 @@ class Attack:
         """Per-batch gradient of the attack objective."""
         raise NotImplementedError  # pragma: no cover - abstract
 
-    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray,
+                             variant: Optional[Dict[str, np.ndarray]] = None,
                              ) -> Tuple[np.ndarray, Any]:
         """Gradient plus whatever logits the pass produced (or None).
 
         The second element is an attack-defined payload consumed only by
         :meth:`success_from_logits`; None means "no logits available,
-        fall back to :meth:`is_success`".
+        fall back to :meth:`is_success`".  ``variant`` carries per-row
+        parameter vectors for sweep runs (keys declared in
+        :attr:`sweep_params`); None means "use the attack's own
+        scalars".
         """
         return self.gradient(x_adv, y), None
 
@@ -170,16 +198,44 @@ class Attack:
     # compiled-executor plumbing
     # ------------------------------------------------------------------ #
     def _compiled(self, model, x: np.ndarray):
-        """Cached compiled executor for ``model`` (None = eager fallback)."""
+        """Cached compiled executor for ``model`` (None = eager fallback).
+
+        The cache entry *holds* the model it was compiled from: a bare
+        ``id(model)`` key could collide after garbage collection hands
+        the address to a different model (e.g. when ``self.model`` is
+        rebound between ``generate`` calls), silently replaying a stale
+        program.  Pinning the model makes the id stable for the entry's
+        lifetime, and the identity check guards the rebind case.
+        """
         if not self.use_compiled:
             return None
         key = (id(model), x.shape[1:])
-        if key not in self._exec_cache:
-            self._exec_cache[key] = compile_model(model, x)
-        return self._exec_cache[key]
+        entry = self._exec_cache.get(key)
+        if entry is not None and entry[0] is model:
+            return entry[1]
+        # trace/validate on a small slice: replays accept any batch size,
+        # and compile-time validation cost scales with the example batch
+        ex = compile_model(model, x[:_COMPILE_EXAMPLE_ROWS])
+        self._exec_cache[key] = (model, ex)
+        return ex
+
+    def _paired_executor(self, models: Tuple, x: np.ndarray):
+        """Cached :class:`~repro.attacks.engine.PairedExecutor` over
+        ``models`` (None = eager fallback), with the same held-reference
+        keying discipline as :meth:`_compiled`."""
+        if not self.use_compiled:
+            return None
+        from .engine import PairedExecutor
+        key = (tuple(id(m) for m in models), x.shape[1:])
+        entry = self._exec_cache.get(key)
+        if entry is not None and all(a is b for a, b in zip(entry[0], models)):
+            return entry[1]
+        pe = PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS])
+        self._exec_cache[key] = (tuple(models), pe)
+        return pe
 
     def _refresh_compiled(self) -> None:
-        for ex in self._exec_cache.values():
+        for _, ex in self._exec_cache.values():
             if ex is not None:
                 ex.refresh()
 
@@ -192,11 +248,7 @@ class Attack:
         The paper initializes from the natural sample — "random start is
         less effective in a single run" (§5.1).
         """
-        if not self.random_start:
-            return x.copy()
-        rng = np.random.default_rng(self.seed)
-        noise = rng.uniform(-self.eps, self.eps, size=x.shape).astype(x.dtype)
-        return project_linf(x + noise, x, self.eps)
+        return self._init_variant(x, self.eps)
 
     def _success_mask(self, aux: Any, x_sub: np.ndarray,
                       y_sub: np.ndarray) -> Optional[np.ndarray]:
@@ -213,9 +265,18 @@ class Attack:
         return None if mask is None else np.asarray(mask)
 
     def _step(self, adv_rows: np.ndarray, x_rows: np.ndarray,
-              g_rows: np.ndarray) -> np.ndarray:
-        stepped = adv_rows + self.alpha * np.sign(g_rows)
-        return project_linf(stepped, x_rows, self.eps).astype(x_rows.dtype)
+              g_rows: np.ndarray, eps=None, alpha=None) -> np.ndarray:
+        """One sign step.  ``eps``/``alpha`` may be per-row (n,) vectors
+        (sweep variants); scalars and vectors of equal value produce
+        bit-identical results."""
+        eps = self.eps if eps is None else eps
+        alpha = self.alpha if alpha is None else alpha
+        if isinstance(eps, np.ndarray) and eps.ndim == 1:
+            eps = eps.reshape(-1, *([1] * (x_rows.ndim - 1)))
+        if isinstance(alpha, np.ndarray) and alpha.ndim == 1:
+            alpha = alpha.reshape(-1, *([1] * (x_rows.ndim - 1)))
+        stepped = adv_rows + alpha * np.sign(g_rows)
+        return project_linf(stepped, x_rows, eps).astype(x_rows.dtype)
 
     def _run_plain(self, xb: np.ndarray, yb: np.ndarray, adv: np.ndarray,
                    snaps: Optional[List[np.ndarray]]) -> np.ndarray:
@@ -285,26 +346,112 @@ class Attack:
         """Craft adversarial examples for the whole batch.
 
         Ascends the subclass objective with sign steps, projecting back
-        into the eps-ball each iteration (Eq. 3 of the paper).
+        into the eps-ball each iteration (Eq. 3 of the paper).  Attacks
+        without full-batch gradient state run on the active-slot
+        scheduler (:mod:`repro.attacks.engine`): ``batch_size`` is the
+        slot capacity, and slots freed by successful samples are
+        refilled from later batches.  Iterates are bit-identical to the
+        per-batch loop either way.
         """
         y = np.asarray(y)
         self._refresh_compiled()
+        if self.shrink_done:
+            n = len(x)
+            eps = np.full(n, self.eps, dtype=x.dtype)
+            alpha = np.full(n, self.alpha, dtype=x.dtype)
+            check = np.full(n, self.keep_best, dtype=bool)
+            snaps = (np.empty((self.steps,) + x.shape, dtype=x.dtype)
+                     if trace is not None else None)
+            adv = run_scheduled(self, x, y, self._init(x), eps, alpha, check,
+                                None, capacity=batch_size, snaps=snaps)
+            if trace is not None:
+                for t in range(self.steps):
+                    trace.record(snaps[t])
+            return adv
+        # legacy per-batch loop: full-batch gradient state (momentum)
+        # forbids dropping or reordering rows mid-flight
         outs = []
         step_snaps: List[List[np.ndarray]] = [[] for _ in range(self.steps)]
         for start in range(0, len(x), batch_size):
             xb = x[start:start + batch_size]
             yb = y[start:start + batch_size]
             adv = self._init(xb)
-            snaps: Optional[List[np.ndarray]] = [] if trace is not None else None
+            snaps_b: Optional[List[np.ndarray]] = [] if trace is not None else None
             if self.keep_best:
-                final = self._run_keep_best(xb, yb, adv, snaps)
+                final = self._run_keep_best(xb, yb, adv, snaps_b)
             else:
-                final = self._run_plain(xb, yb, adv, snaps)
+                final = self._run_plain(xb, yb, adv, snaps_b)
             outs.append(final)
             if trace is not None:
                 for t in range(self.steps):
-                    step_snaps[t].append(snaps[t])
+                    step_snaps[t].append(snaps_b[t])
         if trace is not None:
             for t in range(self.steps):
                 trace.record(np.concatenate(step_snaps[t], axis=0))
         return np.concatenate(outs, axis=0)
+
+    def generate_sweep(self, x: np.ndarray, y: np.ndarray,
+                       variants: Sequence[Dict[str, Any]],
+                       batch_size: int = 64) -> List[np.ndarray]:
+        """Run the attack once per variant over one scheduled pass.
+
+        Each variant is a dict overriding ``eps`` / ``alpha`` /
+        ``keep_best`` and any attack parameter named in
+        :attr:`sweep_params` (e.g. ``{"eps": 16/255, "c": 5.0}``); empty
+        dicts mean "the attack's own settings".  The (variant, sample)
+        grid is tiled into one work queue sharing the compiled programs,
+        so a whole (eps, c) sweep costs one scheduled pass instead of
+        ``len(variants)`` sequential ``generate`` calls.  Returns one
+        adversarial batch per variant, each bit-identical to the
+        sequential ``generate`` run with that variant's parameters.
+        """
+        y = np.asarray(y)
+        allowed = SCHEDULER_KEYS | self.sweep_params
+        for v in variants:
+            unknown = set(v) - allowed
+            if unknown:
+                raise ValueError(f"unsupported sweep parameter(s) {unknown}; "
+                                 f"this attack accepts {sorted(allowed)}")
+        if not self.shrink_done:
+            # full-batch gradient state cannot be tiled; fall back to
+            # sequential per-variant runs on parameter clones
+            import copy as _copy
+            outs = []
+            for v in variants:
+                clone = _copy.copy(self)
+                for key, val in v.items():
+                    setattr(clone, key, val)
+                outs.append(clone.generate(x, y, batch_size=batch_size))
+            return outs
+        self._refresh_compiled()
+        n = len(x)
+        n_var = len(variants)
+        xt = np.concatenate([x] * n_var, axis=0)
+        yt = np.tile(y, n_var)
+        eps = np.concatenate([
+            _per_item(v.get("eps", self.eps), n, x.dtype) for v in variants])
+        alpha = np.concatenate([
+            _per_item(v.get("alpha", self.alpha), n, x.dtype) for v in variants])
+        check = np.concatenate([
+            np.full(n, bool(v.get("keep_best", self.keep_best)))
+            for v in variants])
+        params = None
+        extra = self.sweep_params & {k for v in variants for k in v}
+        if extra:
+            params = {key: np.concatenate([
+                _per_item(v.get(key, getattr(self, key)), n, np.float64)
+                for v in variants]) for key in extra}
+        adv0 = np.concatenate([
+            self._init_variant(x, v.get("eps", self.eps)) for v in variants])
+        adv = run_scheduled(self, xt, yt, adv0, eps, alpha, check, params,
+                            capacity=batch_size)
+        return [adv[i * n:(i + 1) * n] for i in range(n_var)]
+
+    def _init_variant(self, x: np.ndarray, eps: float) -> np.ndarray:
+        """Per-variant :meth:`_init`: same rng stream per variant as a
+        sequential run with that eps would draw."""
+        if not self.random_start:
+            return x.copy()
+        rng = np.random.default_rng(self.seed)
+        noise = rng.uniform(-eps, eps, size=x.shape).astype(x.dtype)
+        return project_linf(x + noise, x, eps)

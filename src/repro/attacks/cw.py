@@ -14,7 +14,7 @@ pass's logits for the keep-best success check.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +71,8 @@ class CWLinf(Attack):
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gradient_with_logits(x_adv, y)[0]
 
-    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray,
+                             variant: Optional[Dict[str, np.ndarray]] = None,
                              ) -> Tuple[np.ndarray, Any]:
         y = np.asarray(y)
         ex = self._compiled(self.model, x_adv)

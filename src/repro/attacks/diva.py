@@ -14,16 +14,19 @@ The same class powers every threat model: whitebox passes the true
 true adapted); blackbox passes (surrogate original, surrogate adapted)
 — see :mod:`repro.attacks.surrogate` for the pipelines.
 
-Each gradient step fuses both models' forward and input-gradient passes
-through the compiled executor (:mod:`repro.nn.graph`) with an analytic
-softmax seed, and the logits double as the keep-best success check —
-two model passes per step instead of four.  Untraceable models fall
-back to the eager tape (still reusing the gradient-pass logits).
+Each gradient step drives both models as one fused unit through the
+paired executor (:mod:`repro.attacks.engine`): the two compiled
+programs share scratch buffers, their logits are seeded by a *single*
+stacked-softmax gradient, and both input gradients are summed into one
+step direction — two model passes per step instead of four, with the
+logits doubling as the keep-best success check.  ``c`` may be a per-row
+vector (sweep variants, §5.3).  Untraceable models fall back to the
+eager tape (still reusing the gradient-pass logits).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,8 +38,8 @@ from .base import (Attack, DEFAULT_ALPHA, DEFAULT_EPS, DEFAULT_STEPS,
 
 
 def diva_loss(orig_probs: Tensor, adapted_probs: Tensor, y: np.ndarray,
-              c: float = 1.0) -> Tensor:
-    """Summed Eq. 5 over a batch."""
+              c=1.0) -> Tensor:
+    """Summed Eq. 5 over a batch (``c`` scalar or per-row vector)."""
     y = np.asarray(y)
     return (orig_probs.gather_rows(y) - c * adapted_probs.gather_rows(y)).sum()
 
@@ -56,8 +59,10 @@ class DIVA(Attack):
     ----------
     original: the model whose prediction must *not* change (evasion).
     adapted: the model to flip (attack).
-    c: Eq. 5 balance hyper-parameter.
+    c: Eq. 5 balance hyper-parameter (sweepable per item).
     """
+
+    sweep_params = frozenset({"c"})
 
     def __init__(self, original: Module, adapted: Module, c: float = 1.0,
                  eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
@@ -71,41 +76,62 @@ class DIVA(Attack):
         self.adapted.eval()
 
     # -- gradient ------------------------------------------------------- #
-    def _adapted_seed(self, logits: np.ndarray, y: np.ndarray) -> np.ndarray:
-        return _prob_seed(logits, y, -self.c)
+    def _paired(self, x: np.ndarray):
+        """Cached paired executor over (original, adapted), or None."""
+        return self._paired_executor((self.original, self.adapted), x)
 
-    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict) -> Tensor:
+    def _seed_vectors(self, p: np.ndarray, n: int, y: np.ndarray,
+                      c) -> np.ndarray:
+        """Upstream probability-gradient for the stacked (2n, k) softmax:
+        rows [0, n) are the original model's block (+1 at the label),
+        rows [n, 2n) the adapted model's (-c at the label)."""
+        v = np.zeros_like(p)
+        rows = np.arange(n)
+        v[rows, y] = 1.0
+        v[n + rows, y] = -np.asarray(c, dtype=p.dtype)
+        return v
+
+    def _paired_seeds(self, outs: Sequence[np.ndarray], y: np.ndarray,
+                      c) -> Tuple[np.ndarray, np.ndarray]:
+        """One combined softmax-seeded backward: a single stacked softmax
+        over both logit blocks, one vjp, split per program.  Row-wise
+        identical to seeding the two models separately."""
+        zo, za = outs
+        n = len(zo)
+        p = softmax_np(np.concatenate([zo, za], axis=0))
+        seeds = softmax_vjp(p, self._seed_vectors(p, n, y, c))
+        return seeds[:n], seeds[n:]
+
+    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict, c) -> Tensor:
         zo = self.original(xt)
         za = self.adapted(xt)
         cap["aux"] = (zo.data, za.data)
         p_orig = F.softmax(zo, axis=-1)
         p_adapt = F.softmax(za, axis=-1)
-        return diva_loss(p_orig, p_adapt, y, self.c)
+        return diva_loss(p_orig, p_adapt, y, c)
 
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gradient_with_logits(x_adv, y)[0]
 
-    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray,
+                             variant: Optional[Dict[str, np.ndarray]] = None,
                              ) -> Tuple[np.ndarray, Any]:
         y = np.asarray(y)
-        ex_o = self._compiled(self.original, x_adv)
-        ex_a = self._compiled(self.adapted, x_adv)
-        if ex_o is not None and ex_a is not None:
-            zo, go = ex_o.value_and_input_grad(
-                x_adv, lambda z: _prob_seed(z, y, 1.0))
-            za, ga = ex_a.value_and_input_grad(
-                x_adv, lambda z: self._adapted_seed(z, y))
-            return go + ga, (zo, za)
+        c = variant["c"] if variant and "c" in variant else self.c
+        pe = self._paired(x_adv)
+        if pe is not None:
+            outs, g = pe.value_and_input_grad(
+                x_adv, lambda zs: self._paired_seeds(zs, y, c))
+            return g, outs
         cap: dict = {}
-        g = input_gradient(lambda xt: self._eager_loss(xt, y, cap), x_adv)
+        g = input_gradient(lambda xt: self._eager_loss(xt, y, cap, c), x_adv)
         return g, cap["aux"]
 
     # -- success -------------------------------------------------------- #
     def success_logits(self, x_adv: np.ndarray, y: np.ndarray) -> Any:
-        ex_o = self._compiled(self.original, x_adv)
-        ex_a = self._compiled(self.adapted, x_adv)
-        if ex_o is not None and ex_a is not None:
-            return ex_o.replay(x_adv, copy=False), ex_a.replay(x_adv, copy=False)
+        pe = self._paired(x_adv)
+        if pe is not None:
+            return pe.replay(x_adv, copy=False)
         return (self.original(Tensor(x_adv)).data,
                 self.adapted(Tensor(x_adv)).data)
 
@@ -150,24 +176,27 @@ class TargetedDIVA(DIVA):
         self.target_class = int(target_class)
         self.target_weight = float(target_weight)
 
-    def _adapted_seed(self, logits: np.ndarray, y: np.ndarray) -> np.ndarray:
-        p = softmax_np(logits)
+    def _seed_vectors(self, p: np.ndarray, n: int, y: np.ndarray,
+                      c) -> np.ndarray:
         v = np.zeros_like(p)
-        rows = np.arange(len(y))
-        v[rows, y] = -self.c
+        rows = np.arange(n)
+        v[rows, y] = 1.0
+        v[n + rows, y] = -np.asarray(c, dtype=p.dtype)
         # negative squared distance to the one-hot target, ascended
-        onehot = np.zeros_like(p)
+        # (adapted block only)
+        pa = p[n:]
+        onehot = np.zeros_like(pa)
         onehot[rows, self.target_class] = 1.0
-        v -= 2.0 * self.target_weight * (p - onehot)
-        return softmax_vjp(p, v)
+        v[n:] -= 2.0 * self.target_weight * (pa - onehot)
+        return v
 
-    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict) -> Tensor:
+    def _eager_loss(self, xt: Tensor, y: np.ndarray, cap: dict, c) -> Tensor:
         zo = self.original(xt)
         za = self.adapted(xt)
         cap["aux"] = (zo.data, za.data)
         p_orig = F.softmax(zo, axis=-1)
         p_adapt = F.softmax(za, axis=-1)
-        base = diva_loss(p_orig, p_adapt, y, self.c)
+        base = diva_loss(p_orig, p_adapt, y, c)
         onehot = np.zeros(p_adapt.shape, dtype=p_adapt.data.dtype)
         onehot[np.arange(len(y)), self.target_class] = 1.0
         d = p_adapt - Tensor(onehot)

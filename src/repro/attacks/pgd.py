@@ -14,7 +14,7 @@ step instead of two.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,7 +46,8 @@ class PGD(Attack):
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gradient_with_logits(x_adv, y)[0]
 
-    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray,
+                             variant: Optional[Dict[str, np.ndarray]] = None,
                              ) -> Tuple[np.ndarray, Any]:
         y = np.asarray(y)
         ex = self._compiled(self.model, x_adv)
@@ -101,9 +102,10 @@ class MomentumPGD(PGD):
         self._velocity = np.zeros_like(x)   # reset per batch
         return super()._init(x)
 
-    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray
+    def gradient_with_logits(self, x_adv: np.ndarray, y: np.ndarray,
+                             variant: Optional[Dict[str, np.ndarray]] = None,
                              ) -> Tuple[np.ndarray, Any]:
-        g, aux = super().gradient_with_logits(x_adv, y)
+        g, aux = super().gradient_with_logits(x_adv, y, variant)
         norm = np.abs(g).reshape(len(g), -1).mean(axis=1)
         norm = np.maximum(norm, 1e-12).reshape(-1, *([1] * (g.ndim - 1)))
         self._velocity = self.mu * self._velocity + g / norm

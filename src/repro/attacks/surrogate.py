@@ -13,11 +13,13 @@ data) into a surrogate adapted model; DIVA runs on the two surrogates and
 transfers to the true pair.
 
 Both pipelines finish training their surrogates *before* the returned
-bundle's ``attack`` runs, so the DIVA instance compiles the (frozen)
-model pair into replayable programs on its first gradient batch
-(:mod:`repro.nn.graph`) and steps at two fused model passes per
-iteration; ``Attack.generate`` re-folds the compiled constants on every
-call, so reusing a bundle after further finetuning stays correct.
+bundle's ``attack`` runs, so the DIVA instance fuses the (frozen) model
+pair into a shared-scratch :class:`~repro.attacks.engine.PairedExecutor`
+on its first gradient batch and steps at two fused model passes per
+iteration on the active-slot scheduler; the bundle's ``attack`` also
+exposes ``generate_sweep`` for (eps, c) grids over the surrogate pair.
+``Attack.generate`` re-folds the compiled constants on every call, so
+reusing a bundle after further finetuning stays correct.
 """
 
 from __future__ import annotations

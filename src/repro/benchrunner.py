@@ -26,7 +26,7 @@ from typing import Optional
 
 #: benches that need no trained pipeline; keep in sync with bench_kernels.py
 FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
-                     "or eager_forward or attack_step")
+                     "or eager_forward or attack_step or attack_sweep")
 
 
 def repo_root() -> Path:
@@ -76,6 +76,7 @@ def summarize(raw: dict, sha: str) -> dict:
     kernels = {}
     attack = {}
     replay = {}
+    sweep = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
         median_ns = bench["stats"]["median"] * 1e9
@@ -86,6 +87,13 @@ def summarize(raw: dict, sha: str) -> dict:
                 "diva_steps_per_sec": extra["diva_steps_per_sec"],
                 "pgd_steps_per_sec": extra["pgd_steps_per_sec"],
                 "diva_step_ns": extra["diva_step_ns"],
+            }
+        if "sweep_speedup" in extra:
+            sweep = {
+                "grid_points": extra["grid_points"],
+                "sweep_ms": extra["sweep_ms"],
+                "sequential_ms": extra["sequential_ms"],
+                "speedup": extra["sweep_speedup"],
             }
     eager = kernels.get("eager_forward_reference")
     compiled = kernels.get("compiled_replay_vs_eager_forward")
@@ -102,6 +110,7 @@ def summarize(raw: dict, sha: str) -> dict:
         "kernels_median_ns": kernels,
         "attack": attack,
         "compiled_replay": replay,
+        "sweep_vs_sequential": sweep,
     }
 
 
@@ -135,6 +144,10 @@ def main(argv: Optional[list] = None) -> int:
     if summary["compiled_replay"]:
         print(f"  compiled replay {summary['compiled_replay']['speedup']:.2f}x "
               "vs eager forward")
+    if summary["sweep_vs_sequential"]:
+        s = summary["sweep_vs_sequential"]
+        print(f"  {s['grid_points']}-point sweep {s['speedup']:.2f}x vs "
+              "sequential per-config attacks")
     return 0
 
 

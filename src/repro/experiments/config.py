@@ -21,6 +21,14 @@ Scale calibration vs the paper (full rationale in DESIGN.md §2):
   setting.  Steps stay at the paper's t=20;
 - top-k metric: k=2 of 20 classes (10% of label space) alongside the
   paper's k=5 of 1000 (0.5%); both are reported.
+- dtype policy: experiments default to float64 (the substrate's native
+  precision — keeps results directly comparable to earlier runs);
+  benchmarks run float32, the deployment dtype.  ``dtype`` is part of
+  the config, flows through :class:`~repro.experiments.pipeline.
+  Pipeline` into training and the attack sets, and keys the artifact
+  cache, so mixed-precision artifacts never collide.  Measured fig6
+  success-rate deltas between the two dtypes are recorded by
+  ``exp_fig6.run_dtype_delta``.
 """
 
 from __future__ import annotations
@@ -114,6 +122,11 @@ class ExperimentConfig:
     digit_analysis_per_class: int = 100
     digit_epochs: int = 6
     digit_lr: float = 0.03
+
+    #: numpy dtype every pipeline artifact (training, attacks, eval)
+    #: runs in: "float64" (default, reference precision) or "float32"
+    #: (deployment/benchmark precision)
+    dtype: str = "float64"
 
     seed: int = 0
 

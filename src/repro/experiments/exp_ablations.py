@@ -48,7 +48,7 @@ def _adapt(pipe: Pipeline, arch: str, weight_bits: int, act_bits: int,
         return q
     key = cfg.cache_key("ablate_quant", arch, str(weight_bits),
                         str(act_bits), str(per_channel))
-    return pipe.store.get_or_build(key, build)
+    return pipe.get_or_build(key, build)
 
 
 def run_bits(cfg: Optional[ExperimentConfig] = None,
@@ -108,15 +108,16 @@ def run_eps(cfg: Optional[ExperimentConfig] = None,
 
     rows = []
     results: Dict = {"arch": arch, "per_eps": {}}
-    for eps in eps_values:
-        alpha = eps / 8.0
-        kw = dict(eps=eps, alpha=alpha, steps=cfg.steps)
-        rd = evaluate_attack(orig, quant, DIVA(orig, quant, c=cfg.c, **kw)
-                             .generate(atk_set.x, atk_set.y),
-                             atk_set.y, topk=cfg.topk)
-        rp = evaluate_attack(orig, quant, PGD(quant, **kw)
-                             .generate(atk_set.x, atk_set.y),
-                             atk_set.y, topk=cfg.topk)
+    # the whole budget grid is two vectorized sweeps (one per attack),
+    # each sharing its compiled programs across every eps point
+    variants = [{"eps": float(e), "alpha": float(e / 8.0)} for e in eps_values]
+    kw0 = dict(eps=eps_values[0], alpha=eps_values[0] / 8.0, steps=cfg.steps)
+    diva_advs = DIVA(orig, quant, c=cfg.c, **kw0).generate_sweep(
+        atk_set.x, atk_set.y, variants)
+    pgd_advs = PGD(quant, **kw0).generate_sweep(atk_set.x, atk_set.y, variants)
+    for eps, x_diva, x_pgd in zip(eps_values, diva_advs, pgd_advs):
+        rd = evaluate_attack(orig, quant, x_diva, atk_set.y, topk=cfg.topk)
+        rp = evaluate_attack(orig, quant, x_pgd, atk_set.y, topk=cfg.topk)
         key = f"{eps * 255:.0f}/255"
         results["per_eps"][key] = {
             "diva_top1": rd.top1_success_rate,
@@ -149,15 +150,16 @@ def run_keep_best(cfg: Optional[ExperimentConfig] = None,
 
     rows = []
     results: Dict = {"arch": arch, "variants": {}}
-    for label, keep in [("keep-best", True), ("final-iterate", False)]:
-        rd = evaluate_attack(
-            orig, quant,
-            DIVA(orig, quant, c=cfg.c, keep_best=keep, **kw)
-            .generate(atk_set.x, atk_set.y), atk_set.y, topk=cfg.topk)
-        rp = evaluate_attack(
-            orig, quant,
-            PGD(quant, keep_best=keep, **kw).generate(atk_set.x, atk_set.y),
-            atk_set.y, topk=cfg.topk)
+    # keep_best is a scheduler flag, so both bookkeeping variants run in
+    # one sweep per attack
+    labels = [("keep-best", True), ("final-iterate", False)]
+    sweep = [{"keep_best": keep} for _, keep in labels]
+    diva_advs = DIVA(orig, quant, c=cfg.c, **kw).generate_sweep(
+        atk_set.x, atk_set.y, sweep)
+    pgd_advs = PGD(quant, **kw).generate_sweep(atk_set.x, atk_set.y, sweep)
+    for (label, _), x_diva, x_pgd in zip(labels, diva_advs, pgd_advs):
+        rd = evaluate_attack(orig, quant, x_diva, atk_set.y, topk=cfg.topk)
+        rp = evaluate_attack(orig, quant, x_pgd, atk_set.y, topk=cfg.topk)
         results["variants"][label] = {"diva_top1": rd.top1_success_rate,
                                       "pgd_top1": rp.top1_success_rate}
         rows.append([label, f"{rd.top1_success_rate:.1%}",

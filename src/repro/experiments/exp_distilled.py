@@ -42,7 +42,7 @@ def distilled_student(pipe: Pipeline, arch: str):
                        epochs=cfg.distill_epochs, lr=cfg.distill_lr,
                        temperature=cfg.distill_temperature,
                        alpha=cfg.distill_alpha, seed=cfg.seed + 71)
-    return pipe.store.get_or_build(cfg.cache_key("distilled", arch), build)
+    return pipe.get_or_build(cfg.cache_key("distilled", arch), build)
 
 
 def run(cfg: Optional[ExperimentConfig] = None,

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..attacks import DIVA, PGD, AttackTrace
+from ..attacks import DIVA, PGD, AttackTrace, generate_grid
 from ..metrics import evaluate_attack, natural_confidence_delta
 from .config import ARCHITECTURES, ExperimentConfig
 from .pipeline import Pipeline
@@ -28,7 +28,7 @@ def run(cfg: Optional[ExperimentConfig] = None,
     cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
     pipe = pipeline if pipeline is not None else Pipeline(cfg)
 
-    results: Dict = {"per_arch": {}}
+    results: Dict = {"per_arch": {}, "dtype": cfg.dtype}
     rows = []
     for arch in ARCHITECTURES:
         orig = pipe.original(arch)
@@ -45,13 +45,17 @@ def run(cfg: Optional[ExperimentConfig] = None,
             "semi_blackbox_diva": DIVA(surr_orig, quant, c=cfg.c, **kw),
             "blackbox_diva": DIVA(bb_orig, bb_adapted, c=cfg.c, **kw),
         }
+        # one engine pass over the whole threat-model grid: every attack
+        # steps on the slot scheduler (distinct model pairs cannot share
+        # compiled programs, so entries run in turn)
+        advs = generate_grid(attacks, atk_set.x, atk_set.y)
         arch_res: Dict = {
             "natural_confidence_delta":
                 natural_confidence_delta(orig, quant, atk_set.x, atk_set.y),
         }
-        for name, attack in attacks.items():
-            x_adv = attack.generate(atk_set.x, atk_set.y)
-            rep = evaluate_attack(orig, quant, x_adv, atk_set.y, topk=cfg.topk)
+        for name in attacks:
+            rep = evaluate_attack(orig, quant, advs[name], atk_set.y,
+                                  topk=cfg.topk)
             arch_res[name] = {
                 "top1_success": rep.top1_success_rate,
                 "topk_success": rep.top5_success_rate,
@@ -130,4 +134,59 @@ def run_steps(cfg: Optional[ExperimentConfig] = None,
         print(format_table(["Step", "PGD", "DIVA"], rows,
                            title=f"Figure 6d — top-1 success vs steps ({arch})"))
     save_results("fig6d", results)
+    return results
+
+
+def run_dtype_delta(cfg: Optional[ExperimentConfig] = None,
+                    arch: str = "resnet", verbose: bool = True,
+                    store=None) -> Dict:
+    """Attack-dtype policy measurement (ROADMAP open item).
+
+    Runs the fig6 whitebox DIVA/PGD cell for ``arch`` under both dtype
+    policies — each on its own pipeline, so training, adaptation and
+    attacks all happen at that precision — and records the top-1
+    success-rate deltas into the fig6 results dict (saved as the
+    ``dtype_deltas`` key of ``fig6_dtype``).
+    """
+    import dataclasses
+
+    from ..nn import get_default_dtype, set_default_dtype
+
+    cfg = cfg if cfg is not None else ExperimentConfig.paper_scale()
+    per_dtype: Dict[str, Dict[str, float]] = {}
+    entering_dtype = get_default_dtype()
+    try:
+        for dtype in ("float64", "float32"):
+            pipe = Pipeline(dataclasses.replace(cfg, dtype=dtype), store=store)
+            dcfg = pipe.cfg
+            orig = pipe.original(arch)
+            quant = pipe.quantized(arch)
+            atk_set = pipe.attack_set([orig, quant], f"fig6-dtype-{arch}")
+            kw = dict(eps=dcfg.eps, alpha=dcfg.alpha, steps=dcfg.steps)
+            advs = generate_grid({"pgd": PGD(quant, **kw),
+                                  "diva": DIVA(orig, quant, c=dcfg.c, **kw)},
+                                 atk_set.x, atk_set.y)
+            per_dtype[dtype] = {
+                name: evaluate_attack(orig, quant, advs[name], atk_set.y,
+                                      topk=dcfg.topk).top1_success_rate
+                for name in advs
+            }
+    finally:
+        set_default_dtype(entering_dtype)
+    results = {
+        "arch": arch,
+        "per_dtype": per_dtype,
+        "dtype_deltas": {
+            name: per_dtype["float32"][name] - per_dtype["float64"][name]
+            for name in per_dtype["float64"]
+        },
+    }
+    if verbose:
+        rows = [[name, f"{per_dtype['float64'][name]:.1%}",
+                 f"{per_dtype['float32'][name]:.1%}",
+                 f"{results['dtype_deltas'][name]:+.1%}"]
+                for name in sorted(per_dtype["float64"])]
+        print(format_table(["Attack", "float64", "float32", "delta"], rows,
+                           title=f"Fig 6 dtype policy — top-1 success ({arch})"))
+    save_results("fig6_dtype", results)
     return results

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..attacks import DIVA, PGD
+from ..attacks import DIVA, PGD, generate_grid
 from ..metrics import evaluate_attack, instability_report
 from .config import ARCHITECTURES, ExperimentConfig
 from .pipeline import Pipeline
@@ -34,10 +34,11 @@ def run(cfg: Optional[ExperimentConfig] = None,
             inst = instability_report(orig, adapted, val.x, val.y)
             atk_set = pipe.attack_set([orig, adapted], f"fig8-{track}-{arch}")
             kw = dict(eps=cfg.eps, alpha=cfg.alpha, steps=cfg.steps)
-            x_pgd = PGD(adapted, **kw).generate(atk_set.x, atk_set.y)
-            x_diva = DIVA(orig, adapted, c=cfg.c, **kw).generate(atk_set.x, atk_set.y)
-            rp = evaluate_attack(orig, adapted, x_pgd, atk_set.y, topk=cfg.topk)
-            rd = evaluate_attack(orig, adapted, x_diva, atk_set.y, topk=cfg.topk)
+            advs = generate_grid({"pgd": PGD(adapted, **kw),
+                                  "diva": DIVA(orig, adapted, c=cfg.c, **kw)},
+                                 atk_set.x, atk_set.y)
+            rp = evaluate_attack(orig, adapted, advs["pgd"], atk_set.y, topk=cfg.topk)
+            rd = evaluate_attack(orig, adapted, advs["diva"], atk_set.y, topk=cfg.topk)
             results[track][arch] = {
                 "instability": inst.deviation_instability,
                 "pruned_accuracy": inst.adapted_accuracy,

@@ -49,8 +49,10 @@ def run(cfg: Optional[ExperimentConfig] = None,
     rows.append(["PGD", "-", f"{rp.top1_success_rate:.1%}",
                  f"{rp.attack_only_success_rate:.1%}", f"{robust_acc_pgd:.1%}"])
 
-    for c in c_values:
-        x_diva = DIVA(orig, quant, c=c, **kw).generate(atk_set.x, atk_set.y)
+    # the c grid runs as one vectorized sweep on the shared program pair
+    diva_advs = DIVA(orig, quant, c=c_values[0], **kw).generate_sweep(
+        atk_set.x, atk_set.y, [{"c": float(c)} for c in c_values])
+    for c, x_diva in zip(c_values, diva_advs):
         rd = evaluate_attack(orig, quant, x_diva, atk_set.y, topk=cfg.topk)
         robust_acc = float((predict_labels(quant, x_diva) == atk_set.y).mean())
         results["attacks"][f"diva_c{c}"] = {

@@ -38,11 +38,11 @@ def run(cfg: Optional[ExperimentConfig] = None,
             atk_set = pipe.attack_set([orig, adapted], f"table2-{track}-{arch}")
             kw = dict(eps=cfg.eps, alpha=cfg.alpha, steps=cfg.steps)
             x_pgd = PGD(adapted, **kw).generate(atk_set.x, atk_set.y)
-            x_diva = DIVA(orig, adapted, c=cfg.c, **kw).generate(atk_set.x, atk_set.y)
             # §5.3: a large c shifts DIVA toward pure attack success,
-            # shrinking the evasion cost at the expense of evasiveness
-            x_diva10 = DIVA(orig, adapted, c=10.0, **kw).generate(atk_set.x,
-                                                                  atk_set.y)
+            # shrinking the evasion cost at the expense of evasiveness —
+            # both c points run as one sweep on the shared program pair
+            x_diva, x_diva10 = DIVA(orig, adapted, c=cfg.c, **kw).generate_sweep(
+                atk_set.x, atk_set.y, [{}, {"c": 10.0}])
             rp = evaluate_attack(orig, adapted, x_pgd, atk_set.y, topk=cfg.topk)
             rd = evaluate_attack(orig, adapted, x_diva, atk_set.y, topk=cfg.topk)
             rd10 = evaluate_attack(orig, adapted, x_diva10, atk_set.y,

@@ -26,13 +26,35 @@ from .config import ExperimentConfig
 
 
 class Pipeline:
-    """Accessor hub for one experiment configuration."""
+    """Accessor hub for one experiment configuration.
+
+    Applies the configuration's dtype policy: the process-wide default
+    tensor dtype is set to ``cfg.dtype`` on construction *and re-pinned
+    at every accessor entry*, so artifacts always build at their own
+    configured precision even when several pipelines with different
+    policies are alive in one process (``ExperimentConfig.dtype`` also
+    keys the artifact cache, keeping float32 and float64 artifacts
+    separate).  Code running outside the accessors sees whichever
+    pipeline touched the global last.
+    """
 
     def __init__(self, cfg: ExperimentConfig,
                  store: Optional[ArtifactStore] = None):
         self.cfg = cfg
+        self._apply_dtype()
         self.store = store if store is not None else default_store()
         self._datasets: Optional[Tuple[ArrayDataset, ArrayDataset, ArrayDataset]] = None
+
+    def _apply_dtype(self) -> None:
+        from ..nn import set_default_dtype
+        set_default_dtype(self.cfg.dtype)
+
+    def get_or_build(self, key: str, build) -> object:
+        """Artifact-store access with this pipeline's dtype pinned around
+        the build — a second live pipeline may have moved the global
+        default since construction."""
+        self._apply_dtype()
+        return self.store.get_or_build(key, build)
 
     # ------------------------------------------------------------------ #
     # datasets
@@ -73,7 +95,7 @@ class Pipeline:
             fit(model, train.x, train.y, epochs=cfg.train_epochs,
                 batch_size=cfg.batch_size, lr=cfg.train_lr, seed=cfg.seed + 1)
             return model
-        return self.store.get_or_build(cfg.cache_key("orig", arch), build)
+        return self.get_or_build(cfg.cache_key("orig", arch), build)
 
     def quantized(self, arch: str) -> QATModel:
         """QAT-adapted (frozen) model derived from the original."""
@@ -88,7 +110,7 @@ class Pipeline:
                          rng=np.random.default_rng(cfg.seed + 2))
             q.freeze()
             return q
-        return self.store.get_or_build(cfg.cache_key("quant", arch), build)
+        return self.get_or_build(cfg.cache_key("quant", arch), build)
 
     # ------------------------------------------------------------------ #
     # pruning track (§5.6)
@@ -103,7 +125,7 @@ class Pipeline:
                                   epochs=cfg.prune_epochs,
                                   batch_size=cfg.batch_size,
                                   lr=cfg.prune_lr, seed=cfg.seed + 3)
-        return self.store.get_or_build(cfg.cache_key("pruned", arch), build)
+        return self.get_or_build(cfg.cache_key("pruned", arch), build)
 
     def pruned_quantized(self, arch: str) -> QATModel:
         cfg = self.cfg
@@ -116,7 +138,7 @@ class Pipeline:
                                        per_channel=cfg.per_channel,
                                        qat_epochs=cfg.qat_epochs,
                                        qat_lr=cfg.qat_lr, seed=cfg.seed + 4)
-        return self.store.get_or_build(cfg.cache_key("pruned_quant", arch), build)
+        return self.get_or_build(cfg.cache_key("pruned_quant", arch), build)
 
     # ------------------------------------------------------------------ #
     # surrogates (§4.3 / §4.4)
@@ -135,7 +157,7 @@ class Pipeline:
                 distill_epochs=cfg.distill_epochs, distill_lr=cfg.distill_lr,
                 temperature=cfg.distill_temperature, alpha=cfg.distill_alpha,
                 seed=cfg.seed + 5)
-        return self.store.get_or_build(cfg.cache_key("surr_orig", arch), build)
+        return self.get_or_build(cfg.cache_key("surr_orig", arch), build)
 
     def surrogate_adapted(self, arch: str) -> QATModel:
         """Blackbox surrogate adapted model: the §4.4 pipeline's second
@@ -158,7 +180,7 @@ class Pipeline:
                          rng=np.random.default_rng(cfg.seed + 7))
             q.freeze()
             return q
-        return self.store.get_or_build(cfg.cache_key("surr_adapted", arch), build)
+        return self.get_or_build(cfg.cache_key("surr_adapted", arch), build)
 
     def blackbox_surrogate_original(self, arch: str) -> Module:
         """Blackbox surrogate original (prediction-only distillation —
@@ -172,7 +194,7 @@ class Pipeline:
                            epochs=cfg.distill_epochs, lr=cfg.distill_lr,
                            temperature=cfg.distill_temperature,
                            alpha=cfg.distill_alpha, seed=cfg.seed + 6)
-        return self.store.get_or_build(cfg.cache_key("bb_surr_orig", arch), build)
+        return self.get_or_build(cfg.cache_key("bb_surr_orig", arch), build)
 
     # ------------------------------------------------------------------ #
     # robust track (§5.5)
@@ -195,7 +217,7 @@ class Pipeline:
                             attack_steps=cfg.robust_attack_steps,
                             seed=cfg.seed + 82)
             return model
-        return self.store.get_or_build(cfg.cache_key("robust_orig", arch), build)
+        return self.get_or_build(cfg.cache_key("robust_orig", arch), build)
 
     def robust_quantized(self, arch: str = "resnet") -> QATModel:
         cfg = self.cfg
@@ -210,7 +232,7 @@ class Pipeline:
                          rng=np.random.default_rng(cfg.seed + 83))
             q.freeze()
             return q
-        return self.store.get_or_build(cfg.cache_key("robust_quant", arch), build)
+        return self.get_or_build(cfg.cache_key("robust_quant", arch), build)
 
     # ------------------------------------------------------------------ #
     # attack sets (§5.1 protocol)
@@ -219,11 +241,18 @@ class Pipeline:
         """Class-balanced eval set correctly classified by all ``models``.
 
         Recomputed (cheap) rather than cached; deterministic per tag.
+        Pixels are cast to the configured dtype so the attack hot loop
+        runs at the policy precision end to end.
         """
+        self._apply_dtype()
         _, val, _ = self.datasets()
         seed = int(self.cfg.cache_key("atk", tag), 16) % (2 ** 31)
-        return select_attack_set(val, models, self.cfg.attack_per_class,
-                                 rng=np.random.default_rng(seed))
+        atk = select_attack_set(val, models, self.cfg.attack_per_class,
+                                rng=np.random.default_rng(seed))
+        if atk.x.dtype != np.dtype(self.cfg.dtype):
+            atk = ArrayDataset(atk.x.astype(self.cfg.dtype), atk.y,
+                               atk.num_classes)
+        return atk
 
     # ------------------------------------------------------------------ #
     # face case study (§6)
@@ -251,7 +280,7 @@ class Pipeline:
             fit(model, train.x, train.y, epochs=cfg.face_epochs,
                 batch_size=cfg.batch_size, optimizer=opt, seed=cfg.seed + 91)
             return model
-        return self.store.get_or_build(cfg.cache_key("face_orig"), build)
+        return self.get_or_build(cfg.cache_key("face_orig"), build)
 
     def face_quantized(self) -> QATModel:
         cfg = self.cfg
@@ -271,7 +300,7 @@ class Pipeline:
                          rng=np.random.default_rng(cfg.seed + 92))
             q.freeze()
             return q
-        return self.store.get_or_build(cfg.cache_key("face_quant"), build)
+        return self.get_or_build(cfg.cache_key("face_quant"), build)
 
     def face_edge(self):
         """The deployed integer artifact (TFLite stand-in)."""
@@ -309,7 +338,7 @@ class Pipeline:
             fit(model, train.x, train.y, epochs=cfg.digit_epochs,
                 batch_size=32, lr=cfg.digit_lr, seed=cfg.seed + 101)
             return model
-        return self.store.get_or_build(cfg.cache_key("digit_orig"), build)
+        return self.get_or_build(cfg.cache_key("digit_orig"), build)
 
     def digit_quantized(self) -> QATModel:
         cfg = self.cfg
@@ -323,4 +352,4 @@ class Pipeline:
                          rng=np.random.default_rng(cfg.seed + 102))
             q.freeze()
             return q
-        return self.store.get_or_build(cfg.cache_key("digit_quant"), build)
+        return self.get_or_build(cfg.cache_key("digit_quant"), build)

@@ -67,6 +67,44 @@ def _col2im(dcols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
     return dx
 
 
+def _col2im_flat(dcolsp: np.ndarray, x_shape: Tuple[int, ...], kh: int,
+                 kw: int, ph: int, pw: int, oh: int, ow: int,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Stride-1 col2im from X-padded tap-major window gradients.
+
+    ``dcolsp`` has shape (N, C, kh, kw, OH * XP) with ``XP = OW + kw - 1``
+    (== the padded input width for stride 1), where columns beyond OW of
+    each window row are exact zeros (they come from zero-padded logits in
+    the producing matmul).  Because every tap row then has the padded
+    input's own row pitch, each tap lands with ONE contiguous
+    shifted-slice add over the flattened padded image instead of the
+    classic per-tap strided scatter — same additions, same (i, j) order,
+    plus interleaved exact ``+0.0`` terms, so values match
+    :func:`_col2im` bit-for-bit (modulo the sign of negative zeros).
+
+    ``out`` is an optional (N, C, Hp * Wp) scratch; a fresh one is
+    allocated when omitted.  Returns the (N, C, H, W) crop (a view).
+    """
+    N, C, H, W = x_shape
+    Hp, Wp = H + 2 * ph, W + 2 * pw
+    flat = Hp * Wp
+    full = (oh - 1) * Wp + (ow + kw - 1)
+    if out is None:
+        out = np.zeros((N, C, flat), dtype=dcolsp.dtype)
+    else:
+        out.fill(0.0)
+    for i in range(kh):
+        for j in range(kw):
+            off = i * Wp + j
+            span = min(full, flat - off)
+            dst = out[:, :, off:off + span]
+            np.add(dst, dcolsp[:, :, i, j, :span], out=dst)
+    dx = out.reshape(N, C, Hp, Wp)
+    if ph or pw:
+        dx = dx[:, :, ph:ph + H, pw:pw + W]
+    return dx
+
+
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
            stride: IntPair = 1, padding: IntPair = 0, groups: int = 1) -> Tensor:
     """2D convolution.
@@ -90,11 +128,15 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     cols, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, ph, pw)
 
     if groups == 1:
-        # (N, OH, OW, C*kh*kw) @ (C*kh*kw, F)
-        cols2 = np.ascontiguousarray(cols.transpose(0, 4, 5, 1, 2, 3)).reshape(N, oh, ow, C * kh * kw)
-        wmat = weight.data.reshape(F, C * kh * kw).T
-        out_data = cols2 @ wmat                          # (N, OH, OW, F)
-        out_data = out_data.transpose(0, 3, 1, 2)        # (N, F, OH, OW)
+        # Tap-major layout: the im2col window view is already
+        # (N, C, kh, kw, OH, OW), so a straight copy is cheap (long
+        # contiguous runs), and (F, K) @ (N, K, P) produces NCHW output
+        # directly — no transposes on either side of the matmul.
+        K = C * kh * kw
+        colsK = np.ascontiguousarray(cols).reshape(N, K, oh * ow)
+        w2 = weight.data.reshape(F, K)
+        out_data = np.matmul(w2, colsK).reshape(N, F, oh, ow)
+        cols2 = colsK                                    # closure capture
     else:
         G = groups
         Fg = F // G
@@ -106,7 +148,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         out_data = out_data.reshape(N, F, oh, ow)
 
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, F, 1, 1)
+        out_data += bias.data.reshape(1, F, 1, 1)
 
     parents = (x, weight) + ((bias,) if bias is not None else ())
     req = any(p.requires_grad for p in parents)
@@ -119,16 +161,28 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             if bias is not None and bias.requires_grad:
                 bias._accumulate(g.sum(axis=(0, 2, 3)))
             if groups == 1:
-                gm = g.transpose(0, 2, 3, 1)                      # (N,OH,OW,F)
+                K = C * kh * kw
+                g2 = np.ascontiguousarray(g).reshape(N, F, oh * ow)
                 if weight.requires_grad:
-                    dw = np.tensordot(gm, cols2, axes=([0, 1, 2], [0, 1, 2]))  # (F, C*kh*kw)
+                    dw = np.tensordot(g2, cols2, axes=([0, 2], [0, 2]))  # (F, K)
                     weight._accumulate(dw.reshape(weight.shape), owned=True)
                 if x.requires_grad:
-                    wmat = weight.data.reshape(F, C * kh * kw)
-                    dcols2 = gm @ wmat                             # (N,OH,OW,C*kh*kw)
-                    dcols = dcols2.reshape(N, oh, ow, C, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw),
-                                  owned=True)
+                    w2T = np.ascontiguousarray(weight.data.reshape(F, K).T)
+                    if sh == 1 and sw == 1:
+                        # X-padded logits make every col2im tap a single
+                        # contiguous shifted-slice add (see _col2im_flat)
+                        Xp = ow + kw - 1
+                        g2p = np.zeros((N, F, oh, Xp), dtype=g.dtype)
+                        g2p[..., :ow] = g
+                        dcolsp = np.matmul(w2T, g2p.reshape(N, F, oh * Xp))
+                        dx = _col2im_flat(
+                            dcolsp.reshape(N, C, kh, kw, oh * Xp),
+                            x_shape, kh, kw, ph, pw, oh, ow)
+                        x._accumulate(dx, owned=True)
+                    else:
+                        dcols = np.matmul(w2T, g2).reshape(N, C, kh, kw, oh, ow)
+                        x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw,
+                                              ph, pw), owned=True)
             else:
                 G = groups
                 Fg = F // G

@@ -51,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from . import tensor as _tensor
-from .functional import _col2im, _im2col
+from .functional import _col2im, _col2im_flat, _im2col
 from .module import Module
 from .tensor import Tensor, _unbroadcast, get_default_dtype
 
@@ -60,7 +60,35 @@ class GraphUnsupported(RuntimeError):
     """A forward cannot be traced into a replayable program."""
 
 
-def compile_forward_or_none(module, example):
+class ScratchPool:
+    """Shared transient-buffer arena for a family of compiled programs.
+
+    Buffers whose contents die inside a single op closure (im2col
+    scratch, padded inputs, backward matmul outputs) are keyed by their
+    geometry, so the two programs of a (original, adapted) pair — and
+    same-shaped layers within one program — reuse one allocation
+    instead of each holding their own.  Buffers that outlive their op
+    (activation outputs, col2im accumulators referenced from the
+    gradient environment) must stay private and never go through here.
+    """
+
+    def __init__(self):
+        self._bufs: Dict[object, np.ndarray] = {}
+
+    def acquire(self, key, n: int, per_sample_shape: Tuple[int, ...],
+                dtype, fill: Optional[float]) -> np.ndarray:
+        full_key = (key, per_sample_shape, np.dtype(dtype), fill)
+        buf = self._bufs.get(full_key)
+        if buf is None or len(buf) < n:
+            buf = np.empty((max(n, len(buf) if buf is not None else 0),)
+                           + per_sample_shape, dtype=dtype)
+            if fill is not None:
+                buf.fill(fill)
+            self._bufs[full_key] = buf
+        return buf
+
+
+def compile_forward_or_none(module, example, pool: Optional[ScratchPool] = None):
     """Best-effort :func:`compile_forward`: None instead of raising.
 
     Any failure (unsupported op, non-Module test double, train-mode
@@ -69,7 +97,7 @@ def compile_forward_or_none(module, example):
     attacks and evaluation.
     """
     try:
-        return compile_forward(module, example)
+        return compile_forward(module, example, pool=pool)
     except Exception:
         return None
 
@@ -158,7 +186,8 @@ def _check_input_path(xt: Tensor, out: Tensor, tracer: _Tracer) -> None:
 # --------------------------------------------------------------------- #
 def compile_forward(module: Callable[[Tensor], Tensor],
                     example: np.ndarray,
-                    validate: bool = True) -> "CompiledForward":
+                    validate: bool = True,
+                    pool: Optional[ScratchPool] = None) -> "CompiledForward":
     """Trace ``module``'s forward on ``example`` and compile it.
 
     Raises :class:`GraphUnsupported` when the forward uses an op the
@@ -185,7 +214,7 @@ def compile_forward(module: Callable[[Tensor], Tensor],
     if out_id is None or out_id in tracer.leaves:
         raise GraphUnsupported("forward output was not produced by traced ops")
     _check_input_path(xt, out, tracer)
-    prog = CompiledForward(tracer, out_id, x)
+    prog = CompiledForward(tracer, out_id, x, pool=pool)
     if validate:
         prog._validate(module, x)
     return prog
@@ -194,12 +223,16 @@ def compile_forward(module: Callable[[Tensor], Tensor],
 class CompiledForward:
     """A flat, replayable program lowered from one traced forward."""
 
-    def __init__(self, tracer: _Tracer, out_id: int, example: np.ndarray):
+    def __init__(self, tracer: _Tracer, out_id: int, example: np.ndarray,
+                 pool: Optional[ScratchPool] = None):
         self._input_id = tracer.input_id
         self._out_id = out_id
         self._dtype = example.dtype
         self._trailing = example.shape[1:]
         self._n0 = example.shape[0]
+        #: transient-scratch arena; private by default, shared when the
+        #: caller passes one (the paired attack engine does)
+        self._pool = pool if pool is not None else ScratchPool()
 
         # Reachability from the output.
         reach = {out_id}
@@ -243,11 +276,20 @@ class CompiledForward:
 
     # -- buffers -------------------------------------------------------- #
     def _register_buf(self, key, per_sample_shape: Tuple[int, ...],
-                      fill: Optional[float] = None) -> None:
+                      fill: Optional[float] = None,
+                      pool_key: Optional[Tuple] = None) -> None:
         """``fill`` pre-fills the buffer once per allocation — used for
         padded-input buffers whose borders are constant (0 for conv,
-        -inf for max-pool), so replays only write the interior."""
-        self._buf_shapes[key] = (tuple(per_sample_shape), fill)
+        -inf for max-pool), so replays only write the interior.
+
+        ``pool_key`` marks the buffer as *transient* (its contents die
+        inside the registering op's closure): it is then drawn from the
+        shared :class:`ScratchPool`, deduplicating same-geometry scratch
+        across ops and across the programs sharing the pool.  Buffers
+        whose contents outlive the op (activation outputs, gradient
+        accumulators) must not set it.
+        """
+        self._buf_shapes[key] = (tuple(per_sample_shape), fill, pool_key)
 
     def _slot(self, key, n: int) -> np.ndarray:
         return self._bufs[key][:n]
@@ -255,7 +297,11 @@ class CompiledForward:
     def _ensure(self, n: int) -> None:
         if n <= self._alloc_n:
             return
-        for key, (shape, fill) in self._buf_shapes.items():
+        for key, (shape, fill, pool_key) in self._buf_shapes.items():
+            if pool_key is not None:
+                self._bufs[key] = self._pool.acquire(pool_key, n, shape,
+                                                     self._dtype, fill)
+                continue
             buf = np.empty((n,) + shape, dtype=self._dtype)
             if fill is not None:
                 buf.fill(fill)
@@ -277,8 +323,8 @@ class CompiledForward:
         for nid, t in self._leaves.items():
             env[nid] = t.data
         for ctx in self._ctx.values():
-            ctx.pop("wmat", None)
-            ctx.pop("wmat_g", None)
+            for key in ("wmat", "wmat_g", "w2", "w2T"):
+                ctx.pop(key, None)
         for op in self._const_ops:
             env[op.out] = _eval_const(op, env)
 
@@ -324,9 +370,18 @@ class CompiledForward:
         valid until the next replay; the gradient is freshly owned.
         """
         x = self._check_input(x)
-        n = len(x)
         out = self._forward(x)
         g = out_grad(out) if callable(out_grad) else np.asarray(out_grad)
+        return out, self._backward_from_seed(g, x)
+
+    def _backward_from_seed(self, g: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """d(loss)/d(input) for the *most recent* forward, seeded with the
+        loss gradient w.r.t. the output.  The forward's activations must
+        still be live (no replay of this program in between); the
+        returned gradient is freshly owned.
+        """
+        out = self._env[self._out_id]
+        n = len(x)
         if g.dtype != self._dtype:
             g = g.astype(self._dtype)
         if g.shape != out.shape:
@@ -345,8 +400,12 @@ class CompiledForward:
         if gx is None:
             gx = np.zeros_like(x)
         elif not gowned[self._input_id] or not gx.flags.writeable:
-            gx = np.ascontiguousarray(gx)
-        return out, gx
+            # an unowned gradient may alias per-op scratch (e.g. the
+            # stride-1 conv backward's col2im accumulator) that the next
+            # replay overwrites — a contiguity check is not enough, the
+            # caller was promised a freshly owned array
+            gx = gx.copy()
+        return gx
 
     # -- validation ----------------------------------------------------- #
     def _validate(self, module, example: np.ndarray) -> None:
@@ -408,6 +467,13 @@ def _eval_const(op: _Op, env) -> np.ndarray:
         return ins[0].transpose(at["axes"])
     if k == "concat":
         return np.concatenate(ins, axis=at["axis"])
+    if k == "stack":
+        return np.stack(ins, axis=at["axis"])
+    if k == "where":
+        return np.where(at["cond"], ins[0], ins[1])
+    if k == "pad2d":
+        t, b, l, r = at["pad"]
+        return np.pad(ins[0], ((0, 0), (0, 0), (t, b), (l, r)))
     if k == "fake_quant":
         from ..quantization.affine import fake_quantize_array
         return fake_quantize_array(ins[0], at["qp"])
@@ -862,6 +928,107 @@ def _b_concat(prog, op):
     return run
 
 
+@_register("stack")
+def _f_stack(prog, op):
+    axis = op.attrs["axis"] % len(op.out_shape)
+    if axis == 0:
+        raise GraphUnsupported("stack along the batch dim is not replayable")
+    env = prog._env
+    ins = op.inputs
+    slices = [(slice(None),) * axis + (idx,) for idx in range(len(ins))]
+    prog._register_buf(op.out, op.out_shape[1:])
+
+    def run(n, ins=ins, o=op.out, slices=slices):
+        out = prog._slot(o, n)
+        for nid, sl in zip(ins, slices):
+            out[sl] = env[nid]
+        env[o] = out
+    return run
+
+
+@_register_bwd("stack")
+def _b_stack(prog, op):
+    axis = op.attrs["axis"] % len(op.out_shape)
+    var = prog._var_set
+    pairs = [(nid, (slice(None),) * axis + (idx,))
+             for idx, nid in enumerate(op.inputs)]
+
+    def run(g, genv, gowned, n, pairs=pairs):
+        for nid, sl in pairs:
+            if nid in var:
+                _gacc(genv, gowned, nid, g[sl], False)
+    return run
+
+
+@_register("where")
+def _f_where(prog, op):
+    a, b = op.inputs
+    cond = op.attrs["cond"]
+    if cond.ndim >= len(op.out_shape) and prog._batched(cond.shape):
+        # A batch-major condition was computed from the traced example
+        # (off-tape, e.g. ``x.data > t``); replaying it against other
+        # inputs would silently freeze a data-dependent branch choice.
+        raise GraphUnsupported(
+            "where() with a batch-dependent condition is not replayable")
+    env = prog._env
+    prog._register_buf(op.out, op.out_shape[1:])
+
+    def run(n, a=a, b=b, o=op.out, cond=cond):
+        out = prog._slot(o, n)
+        np.copyto(out, env[b])
+        np.copyto(out, env[a], where=cond)
+        env[o] = out
+    return run
+
+
+@_register_bwd("where")
+def _b_where(prog, op):
+    a, b = op.inputs
+    var = prog._var_set
+    cond = op.attrs["cond"]
+    sa, sb = op.in_shapes
+
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb, cond=cond):
+        if a in var:
+            _gacc(genv, gowned, a,
+                  _unbroadcast(np.where(cond, g, 0.0),
+                               _grad_target_shape(prog, sa, n)), True)
+        if b in var:
+            _gacc(genv, gowned, b,
+                  _unbroadcast(np.where(cond, 0.0, g),
+                               _grad_target_shape(prog, sb, n)), True)
+    return run
+
+
+@_register("pad2d")
+def _f_pad2d(prog, op):
+    a, = op.inputs
+    t, b, l, r = op.attrs["pad"]
+    _, C, H, W = op.in_shapes[0]
+    env = prog._env
+    # The borders are constant zeros: pre-fill once per allocation and
+    # rewrite only the interior each replay.  The output feeds later ops,
+    # so the buffer stays private (never pooled).
+    prog._register_buf(op.out, op.out_shape[1:], fill=0.0)
+
+    def run(n, a=a, o=op.out):
+        out = prog._slot(o, n)
+        out[:, :, t:t + H, l:l + W] = env[a]
+        env[o] = out
+    return run
+
+
+@_register_bwd("pad2d")
+def _b_pad2d(prog, op):
+    a, = op.inputs
+    t, b, l, r = op.attrs["pad"]
+    _, C, H, W = op.in_shapes[0]
+
+    def run(g, genv, gowned, n, a=a):
+        _gacc(genv, gowned, a, g[:, :, t:t + H, l:l + W], False)
+    return run
+
+
 # ---- fake quantization ------------------------------------------------ #
 @_register("fake_quant")
 def _f_fake_quant(prog, op):
@@ -926,21 +1093,22 @@ def _conv_wmats(prog, op, ctx) -> None:
     """(Re)build the cached weight matrices for a conv node.
 
     The folded weight is constant across replays, so the
-    ``weight.reshape(F, K)`` matrix (and the transposed view the forward
-    matmul consumes) is built once per compile/refresh instead of per
-    step — the same views the eager kernel builds, so the BLAS calls
-    stay bitwise-identical to the tape.
+    ``weight.reshape(F, K)`` matrix (and the transposed copy the
+    backward matmul consumes) is built once per compile/refresh instead
+    of per step — the same arrays the eager kernel builds, so the BLAS
+    calls stay bitwise-identical to the tape.
     """
     w = prog._env[op.inputs[1]]
     F, Cg, kh, kw = w.shape
     if op.attrs["groups"] == 1:
-        wmat_g = w.reshape(F, Cg * kh * kw)
-        ctx["wmat"] = wmat_g.T
+        w2 = np.ascontiguousarray(w.reshape(F, Cg * kh * kw))
+        ctx["w2"] = w2
+        ctx["w2T"] = np.ascontiguousarray(w2.T)
     else:
         G = op.attrs["groups"]
         wmat_g = w.reshape(G, F // G, Cg * kh * kw)
         ctx["wmat"] = wmat_g
-    ctx["wmat_g"] = wmat_g              # gradient layout
+        ctx["wmat_g"] = wmat_g          # gradient layout
 
 
 @_register("conv2d")
@@ -959,10 +1127,13 @@ def _f_conv2d(prog, op):
     ctx = prog._ctx[op.out]
     # Borders of the padded input are constant zeros: keep a pre-filled
     # padded buffer and write only the interior each replay (cheaper
-    # than np.pad, bitwise-identical values).
+    # than np.pad, bitwise-identical values).  The buffer is transient
+    # (read back out inside this op only), so it is pooled across
+    # same-geometry convs and across paired programs.
     if ph or pw:
         prog._register_buf(("conv_pad", op.out),
-                           (C, H + 2 * ph, W + 2 * pw), fill=0.0)
+                           (C, H + 2 * ph, W + 2 * pw), fill=0.0,
+                           pool_key=("conv_pad", C, H, W, ph, pw))
 
     def padded_input(n, x_id=x_id, o=op.out):
         if not (ph or pw):
@@ -972,21 +1143,27 @@ def _f_conv2d(prog, op):
         return pb
 
     if groups == 1:
-        prog._register_buf(("conv_cols", op.out), (oh, ow, C * kh * kw))
-        prog._register_buf(op.out, (oh, ow, F))
+        # Tap-major layout (mirrors the eager kernel exactly): the
+        # im2col window view is already (n, C, kh, kw, oh, ow), so the
+        # scratch fill is a cheap straight copy, and (F, K) @ (n, K, P)
+        # writes NCHW output with no transposes around the matmul.
+        K = C * kh * kw
+        P = oh * ow
+        prog._register_buf(("conv_cols", op.out), (K, P),
+                           pool_key=("conv_cols", K, P))
+        prog._register_buf(op.out, (F, P))
 
         def run(n, x_id=x_id, b_id=b_id, o=op.out):
-            if "wmat" not in ctx:
+            if "w2" not in ctx:
                 _conv_wmats(prog, op, ctx)
             cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
             scratch = prog._slot(("conv_cols", o), n)
-            np.copyto(scratch.reshape(n, oh, ow, C, kh, kw),
-                      cols.transpose(0, 4, 5, 1, 2, 3))
+            np.copyto(scratch.reshape(n, C, kh, kw, oh, ow), cols)
             obuf = prog._slot(o, n)
-            np.matmul(scratch, ctx["wmat"], out=obuf)
+            np.matmul(ctx["w2"], scratch, out=obuf)
             if b_id is not None:
-                obuf += env[b_id]
-            env[o] = obuf.transpose(0, 3, 1, 2)
+                obuf += env[b_id][:, None]
+            env[o] = obuf.reshape(n, F, oh, ow)
     else:
         G = groups
         Fg = F // G
@@ -1022,14 +1199,42 @@ def _b_conv2d(prog, op):
     oh, ow = op.out_shape[2], op.out_shape[3]
     ctx = prog._ctx[op.out]
     if groups == 1:
-        def run(g, genv, gowned, n, x_id=x_id, o=op.out):
-            gm = g.transpose(0, 2, 3, 1)                       # (n,OH,OW,F)
-            # the forward's im2col scratch is dead by now: reuse it
-            dcols2 = prog._slot(("conv_cols", o), n)
-            np.matmul(gm, ctx["wmat_g"], out=dcols2)           # (n,OH,OW,K)
-            dcols = dcols2.reshape(n, oh, ow, C, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-            _gacc(genv, gowned, x_id,
-                  _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+        K = C * kh * kw
+        if sh == 1 and sw == 1:
+            # Stride-1 fast path (mirrors the eager kernel): X-pad the
+            # incoming gradient so the backward matmul emits window rows
+            # with the padded input's own pitch — col2im then collapses
+            # to one contiguous shifted-slice add per tap.  The col2im
+            # accumulator is referenced from the gradient environment
+            # after this closure returns, so it stays private.
+            Xp = ow + kw - 1
+            PX = oh * Xp
+            prog._register_buf(("conv_gpad", op.out), (F, oh, Xp), fill=0.0,
+                               pool_key=("conv_gpad", F, oh, Xp))
+            prog._register_buf(("conv_dcols", op.out), (K, PX),
+                               pool_key=("conv_dcols", K, PX))
+            prog._register_buf(("conv_dx", op.out),
+                               (C, (H + 2 * ph) * (W + 2 * pw)))
+
+            def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+                g2p = prog._slot(("conv_gpad", o), n)
+                np.copyto(g2p[..., :ow], g)
+                dcolsp = prog._slot(("conv_dcols", o), n)
+                np.matmul(ctx["w2T"], g2p.reshape(n, F, PX), out=dcolsp)
+                dx = _col2im_flat(dcolsp.reshape(n, C, kh, kw, PX),
+                                  (n, C, H, W), kh, kw, ph, pw, oh, ow,
+                                  out=prog._slot(("conv_dx", o), n))
+                _gacc(genv, gowned, x_id, dx, False)
+        else:
+            def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+                g2 = g if g.flags.c_contiguous else np.ascontiguousarray(g)
+                # the forward's im2col scratch is dead by now: reuse it
+                dcolsK = prog._slot(("conv_cols", o), n)
+                np.matmul(ctx["w2T"], g2.reshape(n, F, oh * ow), out=dcolsK)
+                dcols = dcolsK.reshape(n, C, kh, kw, oh, ow)
+                _gacc(genv, gowned, x_id,
+                      _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw),
+                      True)
     else:
         G = groups
         Fg = F // G

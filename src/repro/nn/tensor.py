@@ -561,6 +561,9 @@ class Tensor:
                 if a.requires_grad:
                     a._accumulate(g[:, :, t:t + H, l:l + W])
             out._backward = _bw
+        if _GRAPH_TRACER is not None:
+            _GRAPH_TRACER.emit("pad2d", (self,), out,
+                               {"pad": (int(t), int(b), int(l), int(r))})
         return out
 
     def __getitem__(self, idx) -> "Tensor":
@@ -622,6 +625,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 if t.requires_grad:
                     t._accumulate(np.take(g, i, axis=ax))
         out._backward = _bw
+    if _GRAPH_TRACER is not None:
+        _GRAPH_TRACER.emit("stack", tuple(tensors), out, {"axis": axis})
     return out
 
 
@@ -640,6 +645,8 @@ def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
             if b.requires_grad:
                 b._accumulate(_unbroadcast(np.where(c, 0.0, g), b.shape))
         out._backward = _bw
+    if _GRAPH_TRACER is not None:
+        _GRAPH_TRACER.emit("where", (a, b), out, {"cond": cond})
     return out
 
 

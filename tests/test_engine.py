@@ -1,0 +1,269 @@
+"""Paired-program attack engine: sweep-vs-sequential parity, cross-batch
+work-stealing equivalence, paired-vs-separate executor bit-parity, the
+executor-cache keying fix, and the experiment dtype policy."""
+
+import dataclasses
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.attacks import DIVA, PGD, PairedExecutor, TargetedDIVA, generate_grid
+from repro.attacks.base import softmax_np, softmax_vjp
+from repro.nn.graph import ScratchPool, compile_forward
+
+
+@pytest.fixture(scope="module")
+def pair_setup(request):
+    """(original, adapted, attack set) trained pair from the shared
+    session fixtures."""
+    model = request.getfixturevalue("tiny_model")
+    quant = request.getfixturevalue("tiny_quantized")
+    train, val = request.getfixturevalue("tiny_dataset")
+    from repro.data import select_attack_set
+    atk = select_attack_set(val, [model, quant], per_class=4)
+    return model, quant, atk
+
+
+EPS = 32.0 / 255.0
+ALPHA = 4.0 / 255.0
+
+
+class TestPairedExecutor:
+    def test_paired_matches_separate_bitwise(self, pair_setup):
+        """One fused paired step must reproduce the two separate
+        value_and_input_grad calls bit for bit (DIVA's Eq. 5 economics
+        rely on the fusion being value-neutral)."""
+        orig, quant, atk = pair_setup
+        x, y = atk.x[:6], atk.y[:6]
+        c = 1.0
+        pe = PairedExecutor.compile((orig, quant), x)
+        assert pe is not None
+        atk_obj = DIVA(orig, quant, c=c)
+        (zo, za), g = pe.value_and_input_grad(
+            x, lambda zs: atk_obj._paired_seeds(zs, y, c))
+
+        exo = compile_forward(orig, x)
+        exa = compile_forward(quant, x)
+
+        def seed(z, coeff):
+            p = softmax_np(z)
+            v = np.zeros_like(p)
+            v[np.arange(len(y)), y] = coeff
+            return softmax_vjp(p, v)
+
+        zo_ref, go = exo.value_and_input_grad(x, lambda z: seed(z, 1.0))
+        za_ref, ga = exa.value_and_input_grad(x, lambda z: seed(z, -c))
+        np.testing.assert_array_equal(zo, zo_ref)
+        np.testing.assert_array_equal(za, za_ref)
+        np.testing.assert_array_equal(g, go + ga)
+
+    def test_paired_shares_scratch_pool(self, pair_setup):
+        orig, quant, atk = pair_setup
+        pe = PairedExecutor.compile((orig, quant), atk.x[:4])
+        pools = {id(prog._pool) for prog in pe.programs}
+        assert len(pools) == 1
+        pe.replay(atk.x[:4])
+        # conv scratch got pooled (same-geometry layers deduplicate)
+        pool = pe.programs[0]._pool
+        assert any(key[0][0] == "conv_cols" for key in pool._bufs)
+
+    def test_compile_fallback_is_none(self):
+        class Opaque:
+            def eval(self):
+                return self
+
+            def __call__(self, x):
+                return "nope"
+
+        assert PairedExecutor.compile((Opaque(),), np.zeros((2, 1, 4, 4))) is None
+
+    @pytest.mark.parametrize("cls", [DIVA, TargetedDIVA])
+    def test_paired_generate_matches_eager(self, pair_setup, cls):
+        orig, quant, atk = pair_setup
+        kwargs = dict(eps=EPS, alpha=ALPHA, steps=6)
+        if cls is TargetedDIVA:
+            kwargs["target_class"] = 1
+        fast = cls(orig, quant, **kwargs).generate(atk.x, atk.y)
+        slow_atk = cls(orig, quant, **kwargs)
+        slow_atk.use_compiled = False
+        slow = slow_atk.generate(atk.x, atk.y)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+
+class TestWorkStealing:
+    """Scheduling must be value-neutral: per-sample trajectories do not
+    depend on which other samples share the gradient batch."""
+
+    def test_small_capacity_equals_full_batch(self, pair_setup):
+        orig, quant, atk = pair_setup
+        kw = dict(eps=EPS, alpha=ALPHA, steps=8)
+        ref = DIVA(orig, quant, **kw).generate(atk.x, atk.y, batch_size=64)
+        stolen = DIVA(orig, quant, **kw).generate(atk.x, atk.y, batch_size=3)
+        np.testing.assert_array_equal(ref, stolen)
+
+    def test_equals_per_sample_runs_under_uneven_success(self, pair_setup):
+        """The trained pair produces genuinely uneven success steps, so
+        slots retire and refill at different times; every sample must
+        still match its own single-sample run."""
+        orig, quant, atk = pair_setup
+        kw = dict(eps=EPS, alpha=ALPHA, steps=8)
+        batch = DIVA(orig, quant, **kw).generate(atk.x, atk.y, batch_size=5)
+        atk_solo = DIVA(orig, quant, **kw)
+        for i in range(len(atk.x)):
+            solo = atk_solo.generate(atk.x[i:i + 1], atk.y[i:i + 1])
+            np.testing.assert_array_equal(batch[i:i + 1], solo)
+
+    def test_pgd_steals_too(self, pair_setup):
+        orig, quant, atk = pair_setup
+        kw = dict(eps=EPS, alpha=ALPHA, steps=8)
+        ref = PGD(quant, **kw).generate(atk.x, atk.y)
+        stolen = PGD(quant, **kw).generate(atk.x, atk.y, batch_size=4)
+        np.testing.assert_array_equal(ref, stolen)
+
+
+class TestGenerateSweep:
+    def test_sweep_matches_sequential_per_variant(self, pair_setup):
+        orig, quant, atk = pair_setup
+        steps = 6
+        variants = [{"c": 0.1}, {"c": 1.0}, {"eps": 16 / 255, "alpha": 2 / 255},
+                    {"c": 5.0, "eps": 48 / 255}, {"keep_best": False}]
+        sweep = DIVA(orig, quant, c=1.0, eps=EPS, alpha=ALPHA,
+                     steps=steps).generate_sweep(atk.x, atk.y, variants)
+        assert len(sweep) == len(variants)
+        for v, got in zip(variants, sweep):
+            ref_atk = DIVA(orig, quant, c=v.get("c", 1.0),
+                           eps=v.get("eps", EPS), alpha=v.get("alpha", ALPHA),
+                           steps=steps, keep_best=v.get("keep_best", True))
+            np.testing.assert_array_equal(got, ref_atk.generate(atk.x, atk.y))
+
+    def test_sweep_rejects_unknown_params(self, pair_setup):
+        orig, quant, atk = pair_setup
+        with pytest.raises(ValueError, match="unsupported sweep parameter"):
+            DIVA(orig, quant).generate_sweep(atk.x, atk.y, [{"steps": 3}])
+
+    def test_pgd_eps_sweep(self, pair_setup):
+        orig, quant, atk = pair_setup
+        variants = [{"eps": e, "alpha": e / 8} for e in (8 / 255, 32 / 255)]
+        sweep = PGD(quant, steps=6).generate_sweep(atk.x, atk.y, variants)
+        for v, got in zip(variants, sweep):
+            ref = PGD(quant, eps=v["eps"], alpha=v["alpha"], steps=6)
+            np.testing.assert_array_equal(got, ref.generate(atk.x, atk.y))
+
+    def test_momentum_pgd_falls_back_to_sequential(self, pair_setup):
+        from repro.attacks import MomentumPGD
+        orig, quant, atk = pair_setup
+        variants = [{"eps": 16 / 255, "alpha": 2 / 255}, {}]
+        sweep = MomentumPGD(quant, eps=EPS, alpha=ALPHA,
+                            steps=4).generate_sweep(atk.x, atk.y, variants)
+        for v, got in zip(variants, sweep):
+            ref = MomentumPGD(quant, eps=v.get("eps", EPS),
+                              alpha=v.get("alpha", ALPHA), steps=4)
+            np.testing.assert_array_equal(got, ref.generate(atk.x, atk.y))
+
+    def test_generate_grid_mixes_plain_and_sweeps(self, pair_setup):
+        orig, quant, atk = pair_setup
+        kw = dict(eps=EPS, alpha=ALPHA, steps=4)
+        advs = generate_grid(
+            {"pgd": PGD(quant, **kw), "diva": DIVA(orig, quant, **kw)},
+            atk.x, atk.y, variants={"diva": [{"c": 0.5}, {"c": 2.0}]})
+        np.testing.assert_array_equal(
+            advs["pgd"], PGD(quant, **kw).generate(atk.x, atk.y))
+        assert len(advs["diva"]) == 2
+        np.testing.assert_array_equal(
+            advs["diva"][1],
+            DIVA(orig, quant, c=2.0, **kw).generate(atk.x, atk.y))
+
+
+class TestExecutorCacheKeying:
+    """Regression for the (id(model), shape) cache-key collision: entries
+    must pin the model they were compiled from."""
+
+    def _fresh(self, seed=3):
+        from repro.models import build_model
+        rng = np.random.default_rng(11)
+        m = build_model("lenet", num_classes=6, in_channels=1, image_size=12,
+                        width=4, seed=seed)
+        m.eval()
+        x = rng.random((4, 1, 12, 12))
+        y = np.zeros(4, dtype=int)
+        return m, x, y
+
+    def test_cache_entry_pins_model(self):
+        model, x, y = self._fresh()
+        atk = PGD(model, steps=2, eps=0.1, alpha=0.05)
+        atk.generate(x, y)
+        wr = weakref.ref(model)
+        # rebind the attack's model: the only strong reference to the old
+        # model is now the cache entry itself — exactly what keeps its id
+        # from being recycled for a different model
+        atk.model, model = self._fresh(seed=4)[0], None
+        gc.collect()
+        assert wr() is not None
+        assert any(entry[0] is wr() for entry in atk._exec_cache.values())
+
+    def test_rebound_model_gets_its_own_program(self):
+        model_a, x, y = self._fresh(seed=3)
+        atk = PGD(model_a, steps=3, eps=0.1, alpha=0.05)
+        first = atk.generate(x, y)
+        model_b = self._fresh(seed=17)[0]
+        atk.model = model_b
+        rebound = atk.generate(x, y)
+        ref = PGD(model_b, steps=3, eps=0.1, alpha=0.05).generate(x, y)
+        np.testing.assert_allclose(rebound, ref, rtol=0, atol=1e-12)
+        assert not np.array_equal(first, rebound)
+        # both entries alive, each pinning its own model
+        models = [entry[0] for entry in atk._exec_cache.values()]
+        assert any(m is model_a for m in models)
+        assert any(m is model_b for m in models)
+
+
+class TestDtypePolicy:
+    def test_dtype_keys_artifact_cache(self):
+        from repro.experiments import ExperimentConfig
+        a = ExperimentConfig.smoke()
+        b = dataclasses.replace(a, dtype="float32")
+        assert a.cache_key("orig", "resnet") != b.cache_key("orig", "resnet")
+
+    def test_pipeline_applies_dtype_to_attack_set(self, tmp_path, request):
+        from repro.experiments import ArtifactStore, ExperimentConfig, Pipeline
+        from repro.nn import get_default_dtype
+        cfg = dataclasses.replace(ExperimentConfig.smoke(), dtype="float32",
+                                  train_epochs=1, num_classes=4,
+                                  train_per_class=8, val_per_class=6,
+                                  attack_per_class=2)
+        pipe = Pipeline(cfg, store=ArtifactStore(str(tmp_path)))
+        assert get_default_dtype() == np.float32
+        orig = pipe.original("resnet")
+        atk = pipe.attack_set([orig], "dtype-test")
+        assert atk.x.dtype == np.float32
+
+    def test_coexisting_pipelines_keep_their_own_dtype(self, tmp_path):
+        """Constructing a second pipeline must not poison what the first
+        one builds afterwards: accessors re-pin their own policy."""
+        from repro.experiments import ArtifactStore, ExperimentConfig, Pipeline
+        cfg = dataclasses.replace(ExperimentConfig.smoke(), train_epochs=1,
+                                  num_classes=4, train_per_class=8,
+                                  val_per_class=6, attack_per_class=2)
+        pipe64 = Pipeline(cfg, store=ArtifactStore(str(tmp_path / "a")))
+        Pipeline(dataclasses.replace(cfg, dtype="float32"),
+                 store=ArtifactStore(str(tmp_path / "b")))   # moves the global
+        model = pipe64.original("resnet")
+        params = list(model.parameters())
+        assert params[0].data.dtype == np.float64
+
+    def test_run_dtype_delta_records_deltas(self, tmp_path, monkeypatch):
+        from repro.experiments import ArtifactStore, ExperimentConfig
+        from repro.experiments import exp_fig6
+        monkeypatch.chdir(tmp_path)      # save_results writes under cwd
+        cfg = dataclasses.replace(
+            ExperimentConfig.smoke(), train_epochs=1, qat_epochs=1,
+            num_classes=4, train_per_class=8, val_per_class=6,
+            surrogate_per_class=4, attack_per_class=2, steps=3, width=4)
+        res = exp_fig6.run_dtype_delta(
+            cfg, verbose=False, store=ArtifactStore(str(tmp_path / "store")))
+        assert set(res["per_dtype"]) == {"float64", "float32"}
+        for name in ("pgd", "diva"):
+            assert name in res["dtype_deltas"]
+            assert -1.0 <= res["dtype_deltas"][name] <= 1.0

@@ -93,6 +93,19 @@ class TestReplayParity:
         np.testing.assert_allclose(ex.replay(x), model(Tensor(x)).data,
                                    rtol=1e-6, atol=1e-6)
 
+    def test_input_grad_is_freshly_owned(self):
+        """The returned input gradient must not alias per-op scratch: a
+        later replay on the same program may not mutate it (stride-1
+        pad-0 convs used to hand back the col2im accumulator itself)."""
+        model, x = _build("lenet")     # first conv: stride 1
+        ex = compile_forward(model, x)
+        seed = np.ones(model(Tensor(x)).shape)
+        _, g1 = ex.value_and_input_grad(x, seed)
+        snapshot = g1.copy()
+        _, g2 = ex.value_and_input_grad(x * 0.5, seed)
+        assert not np.shares_memory(g1, g2)
+        np.testing.assert_array_equal(g1, snapshot)
+
     def test_refresh_picks_up_weight_mutation(self):
         model, x = _build("lenet")
         ex = compile_forward(model, x)
@@ -106,16 +119,84 @@ class TestReplayParity:
         np.testing.assert_allclose(fresh, ref, rtol=1e-6, atol=1e-6)
 
 
+class TestNewKernels:
+    """pad2d / where / stack joined the traced-op registry (ROADMAP):
+    models using them compile instead of falling back to the eager tape."""
+
+    def _check(self, model, x):
+        ex = compile_forward(model, x)
+        xt = Tensor(x, requires_grad=True)
+        out = model(xt)
+        seed = np.random.default_rng(3).normal(size=out.shape)
+        out.backward(seed)
+        got, gx = ex.value_and_input_grad(x, seed)
+        np.testing.assert_allclose(got, out.data, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(gx, xt.grad, rtol=0, atol=1e-12)
+        # variable batch replays against the same program
+        np.testing.assert_allclose(ex.replay(x[:2]), model(Tensor(x[:2])).data,
+                                   rtol=0, atol=1e-12)
+
+    def test_pad2d_replays(self):
+        class PadModel(Module):
+            def forward(self, x):
+                return x.pad2d((1, 2, 0, 1)).sum(axis=(2, 3), keepdims=False)
+
+        self._check(PadModel(), np.random.default_rng(0).random((4, 3, 6, 6)))
+
+    def test_where_with_constant_mask_replays(self):
+        mask = np.random.default_rng(1).random((3, 6, 6)) > 0.5
+
+        class Gated(Module):
+            def forward(self, x):
+                return where(mask, x * 2.0, x * 0.5).sum(axis=(1, 2, 3),
+                                                         keepdims=True)
+
+        self._check(Gated(), np.random.default_rng(0).random((4, 3, 6, 6)))
+
+    def test_stack_replays(self):
+        from repro.nn.tensor import stack
+
+        class Stacked(Module):
+            def forward(self, x):
+                s = stack([x * 1.5, x - 0.25], axis=1)
+                return s.sum(axis=(1, 2, 3, 4), keepdims=False)
+
+        self._check(Stacked(), np.random.default_rng(0).random((4, 3, 6, 6)))
+
+    def test_stack_on_batch_axis_refused(self):
+        from repro.nn.tensor import stack
+
+        class BadStack(Module):
+            def forward(self, x):
+                return stack([x, x], axis=0).sum(axis=(0, 2, 3, 4),
+                                                 keepdims=False)
+
+        with pytest.raises(GraphUnsupported):
+            compile_forward(BadStack(), np.random.default_rng(0).random((2, 1, 4, 4)))
+
+
 class TestFallback:
-    def test_unsupported_op_raises(self):
+    def test_data_dependent_where_cond_refused(self):
+        """A condition computed from the traced input (off-tape) must be
+        refused loudly, not frozen into the program."""
         class WhereModel(Module):
             def forward(self, x):
                 return where(x.data > 0.5, x, x * 0.5).sum(axis=(1, 2, 3),
                                                            keepdims=True)
 
         m = WhereModel()
-        with pytest.raises(GraphUnsupported):
+        with pytest.raises(GraphUnsupported, match="batch-dependent"):
             compile_forward(m, np.random.default_rng(0).random((2, 1, 4, 4)))
+
+    def test_unsupported_op_raises(self):
+        class SliceModel(Module):
+            def forward(self, x):
+                # __getitem__ is not in the traced-op registry
+                return (x[:, :1] * 2.0).sum(axis=(1, 2, 3), keepdims=True)
+
+        m = SliceModel()
+        with pytest.raises(GraphUnsupported):
+            compile_forward(m, np.random.default_rng(0).random((2, 2, 4, 4)))
 
     def test_data_dependent_constant_caught_by_validation(self):
         """A forward that smuggles input data through an untraced numpy
@@ -188,16 +269,17 @@ class TestAttackModelPasses:
         y = rng.integers(0, 6, size=len(x))
         return model, x, y
 
-    def test_pgd_eager_passes_steps_plus_one(self):
+    def test_pgd_eager_passes_exactly_steps(self):
         model, x, y = self._setup()
         steps = 7
         spy = SpyModel(model)
         atk = _NeverSucceedsPGD(spy, steps=steps, eps=0.1, alpha=0.01)
         atk.use_compiled = False
         atk.generate(x, y)
-        # one gradient pass per step + one trailing success forward;
-        # the old loop paid 2 * steps
-        assert spy.calls == steps + 1
+        # one gradient pass per step, nothing else: the scheduler
+        # retires finished samples without the trailing success forward
+        # older loops paid (it cannot change the returned iterate)
+        assert spy.calls == steps
 
     def test_pgd_no_keep_best_passes_steps(self):
         model, x, y = self._setup()
@@ -208,7 +290,7 @@ class TestAttackModelPasses:
         atk.generate(x, y)
         assert spy.calls == steps
 
-    def test_diva_eager_passes_steps_plus_one_per_model(self):
+    def test_diva_eager_passes_steps_per_model(self):
         model, x, y = self._setup()
         from repro.quantization import calibrate, prepare_qat
         qat = prepare_qat(model, weight_bits=4, per_channel=False)
@@ -220,9 +302,10 @@ class TestAttackModelPasses:
         atk = _NeverSucceedsDIVA(spy_o, spy_a, steps=steps, eps=0.1, alpha=0.01)
         atk.use_compiled = False
         atk.generate(x, y)
-        # 2 passes/step + the trailing check — the old loop paid 4/step
-        assert spy_o.calls == steps + 1
-        assert spy_a.calls == steps + 1
+        # exactly one pass per model per step — the naive loop paid
+        # 4/step and the pre-engine loop 2/step plus a trailing check
+        assert spy_o.calls == steps
+        assert spy_a.calls == steps
 
     def test_compiled_path_runs_no_per_step_forwards(self):
         model, x, y = self._setup()
