@@ -26,7 +26,8 @@ from typing import Optional
 
 #: benches that need no trained pipeline; keep in sync with bench_kernels.py
 FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
-                     "or eager_forward or attack_step or attack_sweep")
+                     "or eager_forward or attack_step or attack_sweep "
+                     "or train_step or distill_epoch")
 
 
 def repo_root() -> Path:
@@ -77,8 +78,12 @@ def summarize(raw: dict, sha: str) -> dict:
     attack = {}
     replay = {}
     sweep = {}
+    train = {}
+    distill = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
+        if "[" in bench["name"]:        # parametrized: keep the variant tag
+            name += ":" + bench["name"].split("[", 1)[1].rstrip("]")
         median_ns = bench["stats"]["median"] * 1e9
         kernels[name] = median_ns
         extra = bench.get("extra_info") or {}
@@ -94,6 +99,20 @@ def summarize(raw: dict, sha: str) -> dict:
                 "sweep_ms": extra["sweep_ms"],
                 "sequential_ms": extra["sequential_ms"],
                 "speedup": extra["sweep_speedup"],
+            }
+        if "train_step_speedup" in extra:
+            train[extra["model"]] = {
+                "eager_step_ms": extra["eager_step_ms"],
+                "compiled_step_ms": extra["compiled_step_ms"],
+                "speedup": extra["train_step_speedup"],
+                "batch": extra["batch"],
+            }
+        if "distill_epoch_speedup" in extra:
+            distill = {
+                "eager_epoch_ms": extra["eager_epoch_ms"],
+                "compiled_epoch_ms": extra["compiled_epoch_ms"],
+                "speedup": extra["distill_epoch_speedup"],
+                "images": extra["images"],
             }
     eager = kernels.get("eager_forward_reference")
     compiled = kernels.get("compiled_replay_vs_eager_forward")
@@ -111,6 +130,8 @@ def summarize(raw: dict, sha: str) -> dict:
         "attack": attack,
         "compiled_replay": replay,
         "sweep_vs_sequential": sweep,
+        "train_step": train,
+        "distill_epoch": distill,
     }
 
 
@@ -148,6 +169,12 @@ def main(argv: Optional[list] = None) -> int:
         s = summary["sweep_vs_sequential"]
         print(f"  {s['grid_points']}-point sweep {s['speedup']:.2f}x vs "
               "sequential per-config attacks")
+    for model, t in summary["train_step"].items():
+        print(f"  {model} train step {t['speedup']:.2f}x compiled vs eager "
+              f"({t['eager_step_ms']:.1f} -> {t['compiled_step_ms']:.1f} ms)")
+    if summary["distill_epoch"]:
+        d = summary["distill_epoch"]
+        print(f"  distill epoch {d['speedup']:.2f}x compiled vs eager")
     return 0
 
 

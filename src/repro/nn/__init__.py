@@ -11,6 +11,8 @@ from .activations import (ELU, GELU, HardSwish, LeakyReLU, Swish, elu, gelu,
                           swish)
 from .graph import (CompiledForward, GraphUnsupported, compile_forward,
                     compile_forward_or_none)
+from .train_graph import (CompiledTrainStep, compile_train_step,
+                          compile_train_step_or_none)
 from .init import kaiming_normal, kaiming_uniform, xavier_uniform
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
@@ -27,6 +29,7 @@ __all__ = [
     "set_default_dtype", "get_default_dtype",
     "CompiledForward", "GraphUnsupported", "compile_forward",
     "compile_forward_or_none",
+    "CompiledTrainStep", "compile_train_step", "compile_train_step_or_none",
     "Module", "ModuleList", "Parameter", "Sequential",
     "Linear", "Conv2d", "BatchNorm1d", "BatchNorm2d", "ReLU", "Flatten",
     "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Dropout", "Identity",

@@ -67,42 +67,161 @@ def _col2im(dcols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
     return dx
 
 
+def _col2im_xpad(W: int, pw: int, sw: int) -> int:
+    """Row length the conv backward must X-pad its gradient to so that
+    :func:`_col2im_flat` rows tile the phase image seamlessly.  For
+    stride 1 this is the padded input width itself."""
+    return -(-(W + 2 * pw) // sw)
+
+
 def _col2im_flat(dcolsp: np.ndarray, x_shape: Tuple[int, ...], kh: int,
-                 kw: int, ph: int, pw: int, oh: int, ow: int,
-                 out: Optional[np.ndarray] = None) -> np.ndarray:
-    """Stride-1 col2im from X-padded tap-major window gradients.
+                 kw: int, sh: int, sw: int, ph: int, pw: int,
+                 oh: int, ow: int,
+                 out: Optional[np.ndarray] = None,
+                 dx_out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Phase-major flat col2im from X-padded tap-major window gradients.
 
-    ``dcolsp`` has shape (N, C, kh, kw, OH * XP) with ``XP = OW + kw - 1``
-    (== the padded input width for stride 1), where columns beyond OW of
-    each window row are exact zeros (they come from zero-padded logits in
-    the producing matmul).  Because every tap row then has the padded
-    input's own row pitch, each tap lands with ONE contiguous
-    shifted-slice add over the flattened padded image instead of the
-    classic per-tap strided scatter — same additions, same (i, j) order,
-    plus interleaved exact ``+0.0`` terms, so values match
-    :func:`_col2im` bit-for-bit (modulo the sign of negative zeros).
+    ``dcolsp`` has shape (N, C, kh, kw, OH * XP) with ``XP =
+    _col2im_xpad(W, pw, sw)``, where columns beyond OW of each window row
+    are exact zeros (they come from zero-padded logits in the producing
+    matmul).  Tap (i, j) only ever touches input pixels whose row is
+    ``i (mod sh)`` and column ``j (mod sw)`` — one of ``sh * sw``
+    disjoint *phase* sub-images, each of pitch XP.  Because every tap
+    row then has its phase image's own row pitch, each tap lands with
+    ONE contiguous shifted-slice add over the flattened phase image
+    instead of the classic per-tap strided scatter — same additions,
+    same (i, j) order per destination element, plus interleaved exact
+    ``+0.0`` terms, so values match :func:`_col2im` bit-for-bit (modulo
+    the sign of negative zeros).  For stride 1 there is a single phase
+    and the flat buffer *is* the padded image.
 
-    ``out`` is an optional (N, C, Hp * Wp) scratch; a fresh one is
+    ``out`` is an optional (N, C, sh * sw, Hq * XP) scratch with
+    ``Hq = ceil(Hp / sh)``; ``dx_out`` an optional (N, C, Hp, Wp)
+    interleave target (unused when stride is 1).  Fresh arrays are
     allocated when omitted.  Returns the (N, C, H, W) crop (a view).
     """
     N, C, H, W = x_shape
     Hp, Wp = H + 2 * ph, W + 2 * pw
-    flat = Hp * Wp
-    full = (oh - 1) * Wp + (ow + kw - 1)
+    Hq, Wq = -(-Hp // sh), -(-Wp // sw)
+    phases = sh * sw
+    flat = Hq * Wq
+    full = oh * Wq
     if out is None:
-        out = np.zeros((N, C, flat), dtype=dcolsp.dtype)
-    else:
-        out.fill(0.0)
+        out = np.empty((N, C, phases, flat), dtype=dcolsp.dtype)
+    # the first tap landing on a phase image ASSIGNS (plus zero-fills the
+    # complement of its span) instead of accumulating into a memset
+    # buffer: one full write+read per element saved, values unchanged up
+    # to the sign of zeros the docstring already excepts
+    started = [False] * phases
     for i in range(kh):
         for j in range(kw):
-            off = i * Wp + j
+            p = (i % sh) * sw + (j % sw)
+            off = (i // sh) * Wq + (j // sw)
             span = min(full, flat - off)
-            dst = out[:, :, off:off + span]
-            np.add(dst, dcolsp[:, :, i, j, :span], out=dst)
-    dx = out.reshape(N, C, Hp, Wp)
+            dst = out[:, :, p, off:off + span]
+            if started[p]:
+                np.add(dst, dcolsp[:, :, i, j, :span], out=dst)
+            else:
+                out[:, :, p, :off].fill(0.0)
+                np.copyto(dst, dcolsp[:, :, i, j, :span])
+                out[:, :, p, off + span:].fill(0.0)
+                started[p] = True
+    for p in range(phases):
+        if not started[p]:          # 1x1 kernels leave phases untouched
+            out[:, :, p].fill(0.0)
+    if phases == 1:
+        dx = out.reshape(N, C, Hp, Wp)
+    else:
+        if dx_out is None:
+            dx_out = np.empty((N, C, Hp, Wp), dtype=dcolsp.dtype)
+        for pi in range(sh):
+            rows = -(-(Hp - pi) // sh)
+            for pj in range(sw):
+                cols = -(-(Wp - pj) // sw)
+                img = out[:, :, pi * sw + pj].reshape(N, C, Hq, Wq)
+                dx_out[:, :, pi::sh, pj::sw] = img[:, :, :rows, :cols]
+        dx = dx_out
     if ph or pw:
         dx = dx[:, :, ph:ph + H, pw:pw + W]
     return dx
+
+
+def _conv_dw_dense(g2: np.ndarray, cols2: np.ndarray) -> np.ndarray:
+    """Dense-conv weight gradient ``dw[f,k] = sum_n,p g2[n,f,p]*cols2[n,k,p]``.
+
+    Two formulations with identical results up to summation order, chosen
+    deterministically by shape (so the eager tape and the compiled
+    executor always agree bit-for-bit): wide spatial extents run the
+    copy-free batched matmul; deep/narrow layers run tensordot's single
+    large GEMM, which wins when the contraction dwarfs the batch axis.
+    """
+    N, F, P = g2.shape
+    K = cols2.shape[1]
+    if P * 4 >= K:
+        return np.matmul(g2, cols2.transpose(0, 2, 1)).sum(axis=0)
+    return np.tensordot(g2, cols2, axes=([0, 2], [0, 2]))
+
+
+def _conv_grouped_fwd(cols2: np.ndarray, wmat: np.ndarray,
+                      out: np.ndarray) -> np.ndarray:
+    """Grouped-conv forward contraction into ``out`` (N, G, Fg, oh, ow).
+
+    Depthwise layers (Fg == 1) run a batched matvec — roughly 3x the
+    einsum's speed on the MobileNet hot shapes; general grouped layers
+    keep the einsum.  The choice is shape-deterministic, so the eager
+    tape and the compiled executor always take the same path.
+    """
+    N, G, oh, ow, K = cols2.shape
+    Fg = wmat.shape[1]
+    if Fg == 1:
+        np.matmul(cols2.reshape(N, G, oh * ow, K),
+                  wmat.reshape(1, G, K, 1),
+                  out=out.reshape(N, G, oh * ow, 1))
+        return out
+    np.einsum("ngxyk,gfk->ngfxy", cols2, wmat, out=out, optimize=True)
+    return out
+
+
+def _conv_dw_grouped(gg: np.ndarray, cols2: np.ndarray) -> np.ndarray:
+    """Grouped-conv weight gradient: (N,G,Fg,oh,ow) x (N,G,oh,ow,K) ->
+    (G, Fg, K); batched matvec for depthwise, einsum otherwise."""
+    N, G, Fg, oh, ow = gg.shape
+    K = cols2.shape[-1]
+    if Fg == 1:
+        return np.matmul(gg.reshape(N, G, 1, oh * ow),
+                         cols2.reshape(N, G, oh * ow, K)).sum(axis=0)
+    return np.einsum("ngfxy,ngxyk->gfk", gg, cols2, optimize=True)
+
+
+def _conv_depthwise_fwd(colsK: np.ndarray, wmat: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Depthwise forward on tap-major windows: (N,C,K,P) x (C,K) ->
+    (N,C,1,P).  Tap-major means the im2col view copies straight into the
+    scratch (no per-group transpose materialization)."""
+    N, C, K, P = colsK.shape
+    return np.matmul(wmat.reshape(1, C, 1, K), colsK, out=out)
+
+
+def _conv_dw_depthwise(colsK: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """Depthwise weight gradient on tap-major windows: (N,C,K,P) x
+    (N,C,P) -> (C, K)."""
+    N, C, K, P = colsK.shape
+    return np.matmul(colsK, g2.reshape(N, C, P, 1)).sum(axis=0).reshape(C, K)
+
+
+def _conv_dcols_grouped(ggp: np.ndarray, wmat: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Grouped-conv input-gradient window rows: (N,G,Fg,Q) x (G,Fg,K) ->
+    (N,G,K,Q) in tap-major order.  Depthwise has no contraction at all —
+    a broadcast multiply emits the exact same products as the einsum."""
+    N, G, Fg, Q = ggp.shape
+    K = wmat.shape[-1]
+    if Fg == 1:
+        return np.multiply(ggp.reshape(N, G, 1, Q),
+                           wmat.reshape(1, G, K, 1), out=out)
+    if out is None:
+        return np.einsum("ngfq,gfk->ngkq", ggp, wmat, optimize=True)
+    return np.einsum("ngfq,gfk->ngkq", ggp, wmat, out=out, optimize=True)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
@@ -137,6 +256,15 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         w2 = weight.data.reshape(F, K)
         out_data = np.matmul(w2, colsK).reshape(N, F, oh, ow)
         cols2 = colsK                                    # closure capture
+    elif Cg == 1 and F == groups:
+        # pure depthwise: stay tap-major like the dense path — the
+        # im2col view copies straight (long contiguous runs) and the
+        # per-channel contraction is a batched matvec
+        K = kh * kw
+        colsK = np.ascontiguousarray(cols).reshape(N, C, K, oh * ow)
+        out_data = _conv_depthwise_fwd(
+            colsK, weight.data.reshape(C, K)).reshape(N, F, oh, ow)
+        cols2 = colsK
     else:
         G = groups
         Fg = F // G
@@ -144,7 +272,10 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         colsg = cols.reshape(N, G, Cg, kh, kw, oh, ow)
         cols2 = np.ascontiguousarray(colsg.transpose(0, 1, 5, 6, 2, 3, 4)).reshape(N, G, oh, ow, Cg * kh * kw)
         wmat = weight.data.reshape(G, Fg, Cg * kh * kw)  # (G, Fg, K)
-        out_data = np.einsum("ngxyk,gfk->ngfxy", cols2, wmat, optimize=True)
+        # a C-contiguous destination keeps downstream reductions (and the
+        # compiled executor's buffer replays) bit-identical
+        out_data = np.empty((N, G, Fg, oh, ow), dtype=cols2.dtype)
+        _conv_grouped_fwd(cols2, wmat, out_data)
         out_data = out_data.reshape(N, F, oh, ow)
 
     if bias is not None:
@@ -162,41 +293,50 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
                 bias._accumulate(g.sum(axis=(0, 2, 3)))
             if groups == 1:
                 K = C * kh * kw
-                g2 = np.ascontiguousarray(g).reshape(N, F, oh * ow)
                 if weight.requires_grad:
-                    dw = np.tensordot(g2, cols2, axes=([0, 2], [0, 2]))  # (F, K)
+                    g2 = np.ascontiguousarray(g).reshape(N, F, oh * ow)
+                    dw = _conv_dw_dense(g2, cols2)                       # (F, K)
                     weight._accumulate(dw.reshape(weight.shape), owned=True)
                 if x.requires_grad:
                     w2T = np.ascontiguousarray(weight.data.reshape(F, K).T)
-                    if sh == 1 and sw == 1:
-                        # X-padded logits make every col2im tap a single
-                        # contiguous shifted-slice add (see _col2im_flat)
-                        Xp = ow + kw - 1
-                        g2p = np.zeros((N, F, oh, Xp), dtype=g.dtype)
-                        g2p[..., :ow] = g
-                        dcolsp = np.matmul(w2T, g2p.reshape(N, F, oh * Xp))
-                        dx = _col2im_flat(
-                            dcolsp.reshape(N, C, kh, kw, oh * Xp),
-                            x_shape, kh, kw, ph, pw, oh, ow)
-                        x._accumulate(dx, owned=True)
-                    else:
-                        dcols = np.matmul(w2T, g2).reshape(N, C, kh, kw, oh, ow)
-                        x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw,
-                                              ph, pw), owned=True)
+                    # X-padded logits make every col2im tap a single
+                    # contiguous shifted-slice add into its stride phase
+                    # (see _col2im_flat)
+                    Xp = _col2im_xpad(W, pw, sw)
+                    g2p = np.zeros((N, F, oh, Xp), dtype=g.dtype)
+                    g2p[..., :ow] = g
+                    dcolsp = np.matmul(w2T, g2p.reshape(N, F, oh * Xp))
+                    dx = _col2im_flat(
+                        dcolsp.reshape(N, C, kh, kw, oh * Xp),
+                        x_shape, kh, kw, sh, sw, ph, pw, oh, ow)
+                    x._accumulate(dx, owned=True)
             else:
                 G = groups
                 Fg = F // G
                 gg = g.reshape(N, G, Fg, oh, ow)
                 if weight.requires_grad:
-                    dw = np.einsum("ngfxy,ngxyk->gfk", gg, cols2, optimize=True)
+                    if Cg == 1 and F == G:
+                        g2 = np.ascontiguousarray(g).reshape(N, C, oh * ow)
+                        dw = _conv_dw_depthwise(cols2, g2)
+                    else:
+                        dw = _conv_dw_grouped(gg, cols2)
                     weight._accumulate(dw.reshape(weight.shape), owned=True)
                 if x.requires_grad:
                     wmat = weight.data.reshape(G, Fg, Cg * kh * kw)
-                    dcols2 = np.einsum("ngfxy,gfk->ngxyk", gg, wmat, optimize=True)
-                    dcols = dcols2.reshape(N, G, oh, ow, Cg, kh, kw)
-                    dcols = dcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(N, C, kh, kw, oh, ow)
-                    x._accumulate(_col2im(dcols, x_shape, kh, kw, sh, sw, ph, pw),
-                                  owned=True)
+                    # Same X-padded tap-major path as the dense backward:
+                    # the contraction emits window rows directly in
+                    # (G, K) == (C, kh, kw) tap-major order with the
+                    # phase image's pitch, so no transpose/materialize
+                    # step survives between it and the flat col2im.
+                    Xp = _col2im_xpad(W, pw, sw)
+                    ggp = np.zeros((N, G, Fg, oh, Xp), dtype=g.dtype)
+                    ggp[..., :ow] = gg
+                    dcolsp = _conv_dcols_grouped(
+                        ggp.reshape(N, G, Fg, oh * Xp), wmat)
+                    dx = _col2im_flat(
+                        dcolsp.reshape(N, C, kh, kw, oh * Xp),
+                        x_shape, kh, kw, sh, sw, ph, pw, oh, ow)
+                    x._accumulate(dx, owned=True)
         out._backward = _bw
     if _tensor._GRAPH_TRACER is not None:
         inputs = (x, weight) + ((bias,) if bias is not None else ())
@@ -359,6 +499,12 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     """Inverted dropout; identity when not training or p == 0."""
     if not training or p <= 0.0:
         return x
+    if _tensor._GRAPH_TRACER is not None:
+        # refuse BEFORE drawing: a traced mask would be frozen into the
+        # program, and the un-advanced rng keeps the eager fallback
+        # bitwise identical to a run that never attempted to compile
+        _tensor._GRAPH_TRACER.refuse(
+            "dropout redraws its mask per step; cannot compile")
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
     return x * Tensor(mask)

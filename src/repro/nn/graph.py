@@ -25,7 +25,10 @@ replayable program:
 - **fused forward + input gradient** — :meth:`CompiledForward.
   value_and_input_grad` returns the logits *and* d(loss)/d(input) in one
   replay, given the loss gradient w.r.t. the logits (parameter gradients
-  are deliberately not computed: attacks never use them).
+  are deliberately not computed here: attacks never use them — the
+  *training* loop's parameter-gradient programs live in
+  :mod:`repro.nn.train_graph`, built on this module's tracer, kernel
+  factories and buffer machinery).
 
 Replays accept any batch size whose trailing dims match the traced
 example; buffers grow on demand and are sliced for smaller batches, so a
@@ -51,7 +54,10 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from . import tensor as _tensor
-from .functional import _col2im, _col2im_flat, _im2col
+from .functional import (_col2im, _col2im_flat, _col2im_xpad,
+                         _conv_dcols_grouped, _conv_depthwise_fwd,
+                         _conv_dw_dense, _conv_dw_depthwise,
+                         _conv_dw_grouped, _conv_grouped_fwd, _im2col)
 from .module import Module
 from .tensor import Tensor, _unbroadcast, get_default_dtype
 
@@ -119,11 +125,16 @@ class _Op:
 class _Tracer:
     """Records emitted ops; installed as ``tensor._GRAPH_TRACER``."""
 
+    #: whether :meth:`emit_effect` records (training compiler) or refuses
+    #: (forward executor: a side effect cannot be replayed batch-variably)
+    allow_effects = False
+
     def __init__(self, input_tensor: Tensor):
         self.ops: List[_Op] = []
         self.ids: Dict[int, int] = {}
         self.keep: List[Tensor] = []   # keepalive: id() reuse would corrupt ids
         self.leaves: Dict[int, Tensor] = {}
+        self.effects: List[Tuple[int, Callable, int]] = []
         self.count = 0
         self.input_id = self._register(input_tensor)
 
@@ -148,15 +159,34 @@ class _Tracer:
                             tuple(t.data.shape for t in inputs),
                             out.data.shape))
 
+    def refuse(self, reason: str) -> None:
+        """Abort tracing: the forward is doing something no replay can
+        reproduce (e.g. dropout redrawing its mask per step — a frozen
+        mask would pass validation, since validation restores the module
+        RNG to the state the trace consumed)."""
+        raise GraphUnsupported(reason)
 
-def _check_input_path(xt: Tensor, out: Tensor, tracer: _Tracer) -> None:
-    """Every tape node that depends on the input must have been traced.
+    def emit_effect(self, fn: Callable[[np.ndarray], None], t: Tensor) -> None:
+        """Record a replayable side effect (train-time running statistics,
+        observer updates): on replay, ``fn`` receives the current value of
+        ``t`` at this position in the forward program.  The forward
+        executor refuses such forwards — a mutation of module state cannot
+        be replayed against arbitrary batches — while the training-step
+        compiler records and replays them in order."""
+        if not self.allow_effects:
+            raise GraphUnsupported(
+                "forward has train-time side effects; cannot compile")
+        self.effects.append((len(self.ops), fn, self._lookup(t)))
 
-    A missed emit on the input path would silently freeze an
-    input-dependent value as a constant; this walk turns that into a
-    loud :class:`GraphUnsupported` instead.
+
+def _check_input_path(roots, out: Tensor, tracer: _Tracer) -> None:
+    """Every tape node that depends on a root tensor must have been traced.
+
+    A missed emit on the input (or, for training programs, parameter)
+    path would silently freeze an input-dependent value as a constant;
+    this walk turns that into a loud :class:`GraphUnsupported` instead.
     """
-    dep: Dict[int, bool] = {id(xt): True}
+    dep: Dict[int, bool] = {id(t): True for t in roots}
     order: List[Tensor] = []
     stack: List[Tuple[Tensor, bool]] = [(out, False)]
     seen = set()
@@ -213,18 +243,27 @@ def compile_forward(module: Callable[[Tensor], Tensor],
     out_id = tracer.ids.get(id(out))
     if out_id is None or out_id in tracer.leaves:
         raise GraphUnsupported("forward output was not produced by traced ops")
-    _check_input_path(xt, out, tracer)
+    _check_input_path((xt,), out, tracer)
     prog = CompiledForward(tracer, out_id, x, pool=pool)
     if validate:
         prog._validate(module, x)
     return prog
 
 
-class CompiledForward:
-    """A flat, replayable program lowered from one traced forward."""
+class _Program:
+    """Buffer, constant-folding and replay machinery shared by the
+    forward executor (:class:`CompiledForward`) and the training-step
+    executor (:class:`repro.nn.train_graph.CompiledTrainStep`)."""
+
+    #: True: replays accept any batch size, so batch-axis-entangling ops
+    #: are refused at compile time.  The training executor pins the
+    #: traced batch and relaxes those checks (parameter transposes and
+    #: batch-axis reductions are legitimate there).
+    _variable_batch = True
 
     def __init__(self, tracer: _Tracer, out_id: int, example: np.ndarray,
-                 pool: Optional[ScratchPool] = None):
+                 pool: Optional[ScratchPool] = None,
+                 var_roots: Optional[set] = None):
         self._input_id = tracer.input_id
         self._out_id = out_id
         self._dtype = example.dtype
@@ -234,8 +273,10 @@ class CompiledForward:
         #: caller passes one (the paired attack engine does)
         self._pool = pool if pool is not None else ScratchPool()
 
-        # Reachability from the output.
+        # Reachability from the output (plus recorded side effects).
         reach = {out_id}
+        for _, _, nid in tracer.effects:
+            reach.add(nid)
         for op in reversed(tracer.ops):
             if op.out in reach:
                 reach.update(op.inputs)
@@ -243,8 +284,8 @@ class CompiledForward:
             raise GraphUnsupported("output does not depend on the input")
         ops = [op for op in tracer.ops if op.out in reach]
 
-        # Split into constant (input-independent) and variable ops.
-        var = {self._input_id}
+        # Split into constant (root-independent) and variable ops.
+        var = {self._input_id} if var_roots is None else set(var_roots)
         for op in ops:
             if any(i in var for i in op.inputs):
                 var.add(op.out)
@@ -256,10 +297,6 @@ class CompiledForward:
         for op in self._var_ops:
             if op.kind not in _FWD_FACTORY or op.kind not in _BWD_FACTORY:
                 raise GraphUnsupported(f"op {op.kind!r} is not replayable")
-            if op.out_shape[:1] != (self._n0,):
-                raise GraphUnsupported(
-                    f"op {op.kind!r} output is not batch-major "
-                    f"(shape {op.out_shape}); cannot replay variable batches")
 
         self._env: List[Optional[np.ndarray]] = [None] * tracer.count
         self._ctx: Dict[int, dict] = {op.out: {} for op in self._var_ops}
@@ -267,12 +304,7 @@ class CompiledForward:
         self._buf_shapes: Dict[object, Tuple[int, ...]] = {}
         self._alloc_n = 0
         self.replays = 0
-
         self.refresh()
-        self._fwd_prog = [_FWD_FACTORY[op.kind](self, op) for op in self._var_ops]
-        self._bwd_prog = [(_BWD_FACTORY[op.kind](self, op), op.out)
-                          for op in reversed(self._var_ops)]
-        self._ensure(self._n0)
 
     # -- buffers -------------------------------------------------------- #
     def _register_buf(self, key, per_sample_shape: Tuple[int, ...],
@@ -348,6 +380,23 @@ class CompiledForward:
             run(n)
         self.replays += 1
         return env[self._out_id]
+
+
+class CompiledForward(_Program):
+    """A flat, replayable program lowered from one traced forward."""
+
+    def __init__(self, tracer: _Tracer, out_id: int, example: np.ndarray,
+                 pool: Optional[ScratchPool] = None):
+        super().__init__(tracer, out_id, example, pool=pool)
+        for op in self._var_ops:
+            if op.out_shape[:1] != (self._n0,):
+                raise GraphUnsupported(
+                    f"op {op.kind!r} output is not batch-major "
+                    f"(shape {op.out_shape}); cannot replay variable batches")
+        self._fwd_prog = [_FWD_FACTORY[op.kind](self, op) for op in self._var_ops]
+        self._bwd_prog = [(_BWD_FACTORY[op.kind](self, op), op.out)
+                          for op in reversed(self._var_ops)]
+        self._ensure(self._n0)
 
     def replay(self, x: np.ndarray, copy: bool = True) -> np.ndarray:
         """Forward only: return the output (logits) for batch ``x``.
@@ -534,7 +583,10 @@ def _ufunc_fwd(prog, op, call):
 
         def run(n, env=env, o=o, prog=prog, call=call):
             env[o] = call(prog._slot(o, n))
-    else:                                   # pragma: no cover - defensive
+    else:
+        # non-batch-major outputs (train-mode batch statistics, scalar
+        # heads) allocate fresh — they only occur in fixed-batch training
+        # programs and are small
         def run(n, env=env, o=o, call=call):
             env[o] = call(None)
     return run
@@ -580,14 +632,22 @@ def _b_sub(prog, op):
     a, b = op.inputs
     var = prog._var_set
     sa, sb = op.in_shapes
+    bown = not prog._variable_batch
+    buf_b = None
+    if b in var and prog._batched(op.out_shape):
+        buf_b = ("gsub_b", op.out)
+        prog._register_buf(buf_b, op.out_shape[1:])
 
     def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
         if a in var:
             ga = _unbroadcast(g, _grad_target_shape(prog, sa, n))
             _gacc(genv, gowned, a, ga, ga is not g)
         if b in var:
-            _gacc(genv, gowned, b,
-                  _unbroadcast(-g, _grad_target_shape(prog, sb, n)), True)
+            neg = (np.negative(g, out=prog._slot(buf_b, n))
+                   if buf_b is not None else -g)
+            gb = _unbroadcast(neg, _grad_target_shape(prog, sb, n))
+            _gacc(genv, gowned, b, gb,
+                  bown or buf_b is None or gb is not neg)
     return run
 
 
@@ -620,14 +680,35 @@ def _b_mul(prog, op):
     var = prog._var_set
     env = prog._env
     sa, sb = op.in_shapes
+    # full-size products land in per-op buffers (same bits, no per-step
+    # allocation).  Fixed-batch training programs mark them owned —
+    # in-place fan-in accumulation, and no gradient ever leaves the
+    # program; variable-batch programs export the input gradient, so
+    # buffer-backed contributions stay unowned there and are copied
+    # before handing out.
+    bown = not prog._variable_batch
+    buf_a = buf_b = None
+    if prog._batched(op.out_shape):
+        if a in var:
+            buf_a = ("gmul_a", op.out)
+            prog._register_buf(buf_a, op.out_shape[1:])
+        if b in var:
+            buf_b = ("gmul_b", op.out)
+            prog._register_buf(buf_b, op.out_shape[1:])
 
     def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
         if a in var:
-            _gacc(genv, gowned, a,
-                  _unbroadcast(g * env[b], _grad_target_shape(prog, sa, n)), True)
+            prod = (np.multiply(g, env[b], out=prog._slot(buf_a, n))
+                    if buf_a is not None else g * env[b])
+            ga = _unbroadcast(prod, _grad_target_shape(prog, sa, n))
+            _gacc(genv, gowned, a, ga,
+                  bown or buf_a is None or ga is not prod)
         if b in var:
-            _gacc(genv, gowned, b,
-                  _unbroadcast(g * env[a], _grad_target_shape(prog, sb, n)), True)
+            prod = (np.multiply(g, env[a], out=prog._slot(buf_b, n))
+                    if buf_b is not None else g * env[a])
+            gb = _unbroadcast(prod, _grad_target_shape(prog, sb, n))
+            _gacc(genv, gowned, b, gb,
+                  bown or buf_b is None or gb is not prod)
     return run
 
 
@@ -811,9 +892,18 @@ def _f_relu(prog, op):
 def _b_relu(prog, op):
     a, = op.inputs
     env = prog._env
+    bown = not prog._variable_batch
+    buf = None
+    if prog._batched(op.out_shape):
+        buf = ("grelu", op.out)
+        prog._register_buf(buf, op.out_shape[1:])
 
     def run(g, genv, gowned, n, a=a):
-        _gacc(genv, gowned, a, g * (env[a] > 0), True)
+        if buf is not None:
+            arr = np.multiply(g, env[a] > 0, out=prog._slot(buf, n))
+            _gacc(genv, gowned, a, arr, bown)
+        else:
+            _gacc(genv, gowned, a, g * (env[a] > 0), True)
     return run
 
 
@@ -834,15 +924,24 @@ def _b_sum(prog, op):
     ax = op.attrs["axis"]
     kd = op.attrs["keepdims"]
     env = prog._env
+    bown = not prog._variable_batch
+    buf = None
+    if prog._batched(op.in_shapes[0]):
+        buf = ("gsum", op.out)
+        prog._register_buf(buf, op.in_shapes[0][1:])
 
     def run(g, genv, gowned, n, a=a, ax=ax, kd=kd):
         shape = env[a].shape
-        if ax is None:
-            arr = (np.broadcast_to(g, shape).copy() if np.ndim(g)
-                   else np.full(shape, g, dtype=g.dtype))
+        if ax is not None and not kd:
+            g = np.expand_dims(g, ax)
+        if buf is not None:
+            arr = prog._slot(buf, n)
+            np.copyto(arr, g)           # broadcasting copy, same values
+            _gacc(genv, gowned, a, arr, bown)
+            return
+        if ax is None and not np.ndim(g):
+            arr = np.full(shape, g, dtype=g.dtype)
         else:
-            if not kd:
-                g = np.expand_dims(g, ax)
             arr = np.broadcast_to(g, shape).copy()
         _gacc(genv, gowned, a, arr, True)
     return run
@@ -852,9 +951,12 @@ def _b_sum(prog, op):
 def _f_reshape(prog, op):
     a, = op.inputs
     env = prog._env
-    if not (prog._batched(op.in_shapes[0]) and prog._batched(op.out_shape)):
-        raise GraphUnsupported("reshape mixing the batch dim is not replayable")
-    tpl = (-1,) + op.out_shape[1:]
+    if prog._variable_batch:
+        if not (prog._batched(op.in_shapes[0]) and prog._batched(op.out_shape)):
+            raise GraphUnsupported("reshape mixing the batch dim is not replayable")
+        tpl = (-1,) + op.out_shape[1:]
+    else:
+        tpl = op.out_shape          # fixed batch: parameter reshapes are fine
 
     def run(n, a=a, o=op.out, tpl=tpl):
         env[o] = env[a].reshape(tpl)
@@ -864,7 +966,8 @@ def _f_reshape(prog, op):
 @_register_bwd("reshape")
 def _b_reshape(prog, op):
     a, = op.inputs
-    tpl = (-1,) + op.in_shapes[0][1:]
+    tpl = ((-1,) + op.in_shapes[0][1:]) if prog._variable_batch \
+        else op.in_shapes[0]
 
     def run(g, genv, gowned, n, a=a, tpl=tpl):
         arr = g.reshape(tpl)
@@ -876,7 +979,7 @@ def _b_reshape(prog, op):
 def _f_transpose(prog, op):
     a, = op.inputs
     axes = tuple(op.attrs["axes"])
-    if axes[0] != 0:
+    if prog._variable_batch and axes[0] != 0:
         raise GraphUnsupported("transpose moving the batch dim is not replayable")
     env = prog._env
 
@@ -1038,6 +1141,28 @@ def _f_fake_quant(prog, op):
     s = qp.scale_for(ndim)
     z = qp.zero_point_for(ndim)
     env = prog._env
+    if not prog._variable_batch:
+        # Training program: the quantization grid moves every step (QAT
+        # observers keep observing, weights keep changing), so re-read
+        # the provider's params per replay and run the exact eager
+        # kernel — bit-parity with the tape beats the fused round trip.
+        from ..quantization.affine import fake_quantize_array
+        fq = op.attrs.get("fq")
+        ctx = prog._ctx[op.out]
+
+        dtype = prog._dtype
+
+        def run(n, a=a, o=op.out, fq=fq, qp=qp, ctx=ctx, dtype=dtype):
+            cur = fq.qparams() if fq is not None else qp
+            ctx["qp"] = cur
+            arr = fake_quantize_array(env[a], cur)
+            if arr.dtype != dtype:
+                # the eager tape wraps this result in a Tensor, which
+                # casts back to the session dtype — mirror that, or a
+                # float32 run drifts by one rounding step
+                arr = arr.astype(dtype)
+            env[o] = arr
+        return run
     if not prog._batched(op.out_shape):  # pragma: no cover - defensive
         from ..quantization.affine import fake_quantize_array
 
@@ -1076,11 +1201,24 @@ def _b_fake_quant(prog, op):
     a, = op.inputs
     qp = op.attrs["qp"]
     ndim = len(op.in_shapes[0])
+    env = prog._env
+    if not prog._variable_batch:
+        # STE mask under the grid the forward half of THIS step used
+        ctx = prog._ctx[op.out]
+
+        def run(g, genv, gowned, n, a=a, qp=qp, ctx=ctx, ndim=ndim):
+            cur = ctx.get("qp", qp)
+            s = cur.scale_for(ndim)
+            z = cur.zero_point_for(ndim)
+            lo = (cur.qmin - z) * s
+            hi = (cur.qmax - z) * s
+            x = env[a]
+            _gacc(genv, gowned, a, g * ((x >= lo) & (x <= hi)), True)
+        return run
     s = qp.scale_for(ndim)
     z = qp.zero_point_for(ndim)
     lo = (qp.qmin - z) * s
     hi = (qp.qmax - z) * s
-    env = prog._env
 
     def run(g, genv, gowned, n, a=a, lo=lo, hi=hi):
         x = env[a]
@@ -1114,7 +1252,8 @@ def _conv_wmats(prog, op, ctx) -> None:
 @_register("conv2d")
 def _f_conv2d(prog, op):
     x_id, w_id = op.inputs[0], op.inputs[1]
-    if w_id in prog._var_set:
+    dyn_w = w_id in prog._var_set
+    if dyn_w and prog._variable_batch:
         raise GraphUnsupported("input-dependent conv weights are not replayable")
     b_id = op.inputs[2] if op.attrs["has_bias"] else None
     sh, sw = op.attrs["stride"]
@@ -1125,6 +1264,10 @@ def _f_conv2d(prog, op):
     oh, ow = op.out_shape[2], op.out_shape[3]
     env = prog._env
     ctx = prog._ctx[op.out]
+    # Training programs keep the im2col scratch alive until the weight
+    # gradient reads it back in the backward, so it stays private there;
+    # forward-only programs pool it (contents die inside this closure).
+    retain = not prog._variable_batch
     # Borders of the padded input are constant zeros: keep a pre-filled
     # padded buffer and write only the interior each replay (cheaper
     # than np.pad, bitwise-identical values).  The buffer is transient
@@ -1150,11 +1293,11 @@ def _f_conv2d(prog, op):
         K = C * kh * kw
         P = oh * ow
         prog._register_buf(("conv_cols", op.out), (K, P),
-                           pool_key=("conv_cols", K, P))
+                           pool_key=None if retain else ("conv_cols", K, P))
         prog._register_buf(op.out, (F, P))
 
         def run(n, x_id=x_id, b_id=b_id, o=op.out):
-            if "w2" not in ctx:
+            if dyn_w or "w2" not in ctx:
                 _conv_wmats(prog, op, ctx)
             cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
             scratch = prog._slot(("conv_cols", o), n)
@@ -1164,6 +1307,31 @@ def _f_conv2d(prog, op):
             if b_id is not None:
                 obuf += env[b_id][:, None]
             env[o] = obuf.reshape(n, F, oh, ow)
+    elif Cg == 1 and F == groups:
+        # pure depthwise mirrors the eager tap-major path: the scratch
+        # holds (C, kh*kw, P) windows filled by a straight copy, and the
+        # contraction is a batched matvec
+        K = kh * kw
+        P = oh * ow
+        prog._register_buf(("conv_cols", op.out), (C * K, P),
+                           pool_key=None if retain else ("conv_cols",
+                                                         C * K, P))
+        prog._register_buf(op.out, (F, P))
+
+        def run(n, x_id=x_id, b_id=b_id, o=op.out):
+            if dyn_w or "wmat_g" not in ctx:
+                _conv_wmats(prog, op, ctx)
+            cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
+            scratch = prog._slot(("conv_cols", o), n)
+            np.copyto(scratch.reshape(n, C, kh, kw, oh, ow), cols)
+            obuf = prog._slot(o, n)
+            _conv_depthwise_fwd(scratch.reshape(n, C, K, P),
+                                ctx["wmat_g"].reshape(C, K),
+                                out=obuf.reshape(n, C, 1, P))
+            out = obuf.reshape(n, F, oh, ow)
+            if b_id is not None:
+                out = out + env[b_id].reshape(1, F, 1, 1)
+            env[o] = out
     else:
         G = groups
         Fg = F // G
@@ -1171,7 +1339,7 @@ def _f_conv2d(prog, op):
         prog._register_buf(op.out, (G, Fg, oh, ow))
 
         def run(n, x_id=x_id, b_id=b_id, o=op.out):
-            if "wmat" not in ctx:
+            if dyn_w or "wmat" not in ctx:
                 _conv_wmats(prog, op, ctx)
             cols, _ = _im2col(padded_input(n), kh, kw, sh, sw, 0, 0)
             colsg = cols.reshape(n, G, Cg, kh, kw, oh, ow)
@@ -1179,8 +1347,7 @@ def _f_conv2d(prog, op):
             np.copyto(scratch.reshape(n, G, oh, ow, Cg, kh, kw),
                       colsg.transpose(0, 1, 5, 6, 2, 3, 4))
             obuf = prog._slot(o, n)
-            np.einsum("ngxyk,gfk->ngfxy", scratch, ctx["wmat"],
-                      out=obuf, optimize=True)
+            _conv_grouped_fwd(scratch, ctx["wmat"], obuf)
             out = obuf.reshape(n, F, oh, ow)
             if b_id is not None:
                 out = out + env[b_id].reshape(1, F, 1, 1)
@@ -1190,7 +1357,9 @@ def _f_conv2d(prog, op):
 
 @_register_bwd("conv2d")
 def _b_conv2d(prog, op):
-    x_id = op.inputs[0]
+    x_id, w_id = op.inputs[0], op.inputs[1]
+    b_id = op.inputs[2] if op.attrs["has_bias"] else None
+    var = prog._var_set
     sh, sw = op.attrs["stride"]
     ph, pw = op.attrs["padding"]
     groups = op.attrs["groups"]
@@ -1198,56 +1367,91 @@ def _b_conv2d(prog, op):
     F, Cg, kh, kw = op.in_shapes[1]
     oh, ow = op.out_shape[2], op.out_shape[3]
     ctx = prog._ctx[op.out]
+    # Tap-major X-padded backward (mirrors the eager kernel, all strides
+    # and groups): the producing matmul/einsum emits window rows with
+    # the stride-phase image's own pitch, so col2im collapses to one
+    # contiguous shifted-slice add per tap (see
+    # ``functional._col2im_flat``).  The accumulator is referenced from
+    # the gradient environment after this closure returns, so it stays
+    # private; the padded-gradient and window-row scratch are transient
+    # and pooled.
+    Xp = _col2im_xpad(W, pw, sw)
+    QX = oh * Xp
+    Hp, Wp = H + 2 * ph, W + 2 * pw
+    Hq = -(-Hp // sh)
+    phases = sh * sw
+    prog._register_buf(("conv_gpad", op.out), (F, oh, Xp), fill=0.0,
+                       pool_key=("conv_gpad", F, oh, Xp))
+    prog._register_buf(("conv_dx", op.out), (C, phases, Hq * Xp))
+    if phases > 1:
+        prog._register_buf(("conv_dxi", op.out), (C, Hp, Wp))
+
+    def flat_col2im(dcolsp, n, o=op.out):
+        dxi = (prog._slot(("conv_dxi", o), n) if phases > 1 else None)
+        return _col2im_flat(dcolsp.reshape(n, C, kh, kw, QX),
+                            (n, C, H, W), kh, kw, sh, sw, ph, pw, oh, ow,
+                            out=prog._slot(("conv_dx", o), n), dx_out=dxi)
+
     if groups == 1:
         K = C * kh * kw
-        if sh == 1 and sw == 1:
-            # Stride-1 fast path (mirrors the eager kernel): X-pad the
-            # incoming gradient so the backward matmul emits window rows
-            # with the padded input's own pitch — col2im then collapses
-            # to one contiguous shifted-slice add per tap.  The col2im
-            # accumulator is referenced from the gradient environment
-            # after this closure returns, so it stays private.
-            Xp = ow + kw - 1
-            PX = oh * Xp
-            prog._register_buf(("conv_gpad", op.out), (F, oh, Xp), fill=0.0,
-                               pool_key=("conv_gpad", F, oh, Xp))
-            prog._register_buf(("conv_dcols", op.out), (K, PX),
-                               pool_key=("conv_dcols", K, PX))
-            prog._register_buf(("conv_dx", op.out),
-                               (C, (H + 2 * ph) * (W + 2 * pw)))
+        prog._register_buf(("conv_dcols", op.out), (K, QX),
+                           pool_key=("conv_dcols", K, QX))
+        # same shape gate as the eager _conv_dw_dense, with the batched
+        # product landing in pooled scratch (bitwise-identical GEMMs)
+        dw_bm = (oh * ow) * 4 >= K
+        if w_id in var and dw_bm:
+            prog._register_buf(("conv_dwm", op.out), (F, K),
+                               pool_key=("conv_dwm", F, K))
 
-            def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+        def run(g, genv, gowned, n, x_id=x_id, w_id=w_id, b_id=b_id,
+                o=op.out):
+            if b_id is not None and b_id in var:
+                _gacc(genv, gowned, b_id, g.sum(axis=(0, 2, 3)), True)
+            if w_id in var:
+                g2 = np.ascontiguousarray(g).reshape(n, F, oh * ow)
+                cols2 = prog._slot(("conv_cols", o), n)
+                if dw_bm:
+                    mm = prog._slot(("conv_dwm", o), n)
+                    np.matmul(g2, cols2.transpose(0, 2, 1), out=mm)
+                    dw = mm.sum(axis=0)
+                else:
+                    dw = _conv_dw_dense(g2, cols2)
+                _gacc(genv, gowned, w_id, dw.reshape(F, Cg, kh, kw), True)
+            if x_id in var:
                 g2p = prog._slot(("conv_gpad", o), n)
                 np.copyto(g2p[..., :ow], g)
                 dcolsp = prog._slot(("conv_dcols", o), n)
-                np.matmul(ctx["w2T"], g2p.reshape(n, F, PX), out=dcolsp)
-                dx = _col2im_flat(dcolsp.reshape(n, C, kh, kw, PX),
-                                  (n, C, H, W), kh, kw, ph, pw, oh, ow,
-                                  out=prog._slot(("conv_dx", o), n))
-                _gacc(genv, gowned, x_id, dx, False)
-        else:
-            def run(g, genv, gowned, n, x_id=x_id, o=op.out):
-                g2 = g if g.flags.c_contiguous else np.ascontiguousarray(g)
-                # the forward's im2col scratch is dead by now: reuse it
-                dcolsK = prog._slot(("conv_cols", o), n)
-                np.matmul(ctx["w2T"], g2.reshape(n, F, oh * ow), out=dcolsK)
-                dcols = dcolsK.reshape(n, C, kh, kw, oh, ow)
-                _gacc(genv, gowned, x_id,
-                      _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw),
-                      True)
+                np.matmul(ctx["w2T"], g2p.reshape(n, F, QX), out=dcolsp)
+                _gacc(genv, gowned, x_id, flat_col2im(dcolsp, n), False)
     else:
         G = groups
         Fg = F // G
+        K = Cg * kh * kw
+        dwise = Cg == 1 and F == G
+        prog._register_buf(("conv_gdcols", op.out), (G, K, QX),
+                           pool_key=("conv_gdcols", G, K, QX))
 
-        def run(g, genv, gowned, n, x_id=x_id, o=op.out):
+        def run(g, genv, gowned, n, x_id=x_id, w_id=w_id, b_id=b_id,
+                o=op.out):
+            if b_id is not None and b_id in var:
+                _gacc(genv, gowned, b_id, g.sum(axis=(0, 2, 3)), True)
             gg = g.reshape(n, G, Fg, oh, ow)
-            dcols2 = prog._slot(("conv_cols", o), n)
-            np.einsum("ngfxy,gfk->ngxyk", gg, ctx["wmat_g"],
-                      out=dcols2, optimize=True)
-            dcols = dcols2.reshape(n, G, oh, ow, Cg, kh, kw)
-            dcols = dcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(n, C, kh, kw, oh, ow)
-            _gacc(genv, gowned, x_id,
-                  _col2im(dcols, (n, C, H, W), kh, kw, sh, sw, ph, pw), True)
+            if w_id in var:
+                cols2 = prog._slot(("conv_cols", o), n)
+                if dwise:
+                    g2 = np.ascontiguousarray(g).reshape(n, C, oh * ow)
+                    dw = _conv_dw_depthwise(
+                        cols2.reshape(n, C, K, oh * ow), g2)
+                else:
+                    dw = _conv_dw_grouped(gg, cols2)
+                _gacc(genv, gowned, w_id, dw.reshape(F, Cg, kh, kw), True)
+            if x_id in var:
+                ggp = prog._slot(("conv_gpad", o), n)
+                np.copyto(ggp.reshape(n, G, Fg, oh, Xp)[..., :ow], gg)
+                dcolsp = prog._slot(("conv_gdcols", o), n)
+                _conv_dcols_grouped(ggp.reshape(n, G, Fg, QX),
+                                    ctx["wmat_g"], out=dcolsp)
+                _gacc(genv, gowned, x_id, flat_col2im(dcolsp, n), False)
     return run
 
 

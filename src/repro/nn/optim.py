@@ -25,6 +25,22 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def apply_gradients(self, pairs) -> None:
+        """Apply externally computed gradients (compiled training steps).
+
+        ``pairs`` is a sequence of ``(parameter, gradient-or-None)``.
+        The base implementation adopts the gradients and runs
+        :meth:`step`, then clears them; SGD/Adam override with fused
+        in-place updates whose arithmetic is element-for-element
+        identical to ``step()`` (bit-identical parameters), just without
+        the per-step grad adoption and state reallocation.
+        """
+        for p, g in pairs:
+            p.grad = g
+        self.step()
+        for p, _ in pairs:
+            p.grad = None
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum, weight decay, Nesterov."""
@@ -51,6 +67,29 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = v
                 g = g + self.momentum * v if self.nesterov else v
             p.data -= self.lr * g
+
+    def apply_gradients(self, pairs) -> None:
+        """Fused update: ``v *= m; v += g`` evaluates ``fl(fl(m*v) + g)``
+        per element exactly as ``m*v + g`` does, so the velocity — and
+        therefore every parameter — matches :meth:`step` bit-for-bit
+        while reusing the velocity buffers in place."""
+        lr, mom, wd = self.lr, self.momentum, self.weight_decay
+        vel = self._velocity
+        for p, g in pairs:
+            if g is None:
+                continue
+            if wd:
+                g = g + wd * p.data
+            if mom:
+                v = vel.get(id(p))
+                if v is None:
+                    v = g.copy()
+                    vel[id(p)] = v
+                else:
+                    v *= mom
+                    v += g
+                g = g + mom * v if self.nesterov else v
+            p.data -= lr * g
 
 
 class Adam(Optimizer):
@@ -83,6 +122,37 @@ class Adam(Optimizer):
             m = self.b1 * m + (1 - self.b1) * g if m is not None else (1 - self.b1) * g
             v = self.b2 * v + (1 - self.b2) * g * g if v is not None else (1 - self.b2) * g * g
             self._m[id(p)], self._v[id(p)] = m, v
+            update = (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+
+    def apply_gradients(self, pairs) -> None:
+        """Fused update: the moment recurrences run in place
+        (``m *= b1; m += (1-b1)*g`` is element-wise ``fl(fl(b1*m) +
+        fl((1-b1)*g))``, identical to :meth:`step`'s fresh-array form),
+        so parameters stay bit-identical while the per-step moment
+        reallocation disappears."""
+        self._t += 1
+        b1t = 1.0 - self.b1 ** self._t
+        b2t = 1.0 - self.b2 ** self._t
+        for p, g in pairs:
+            if g is None:
+                continue
+            if self.weight_decay and not self.decoupled:
+                g = g + self.weight_decay * p.data
+            gm = (1 - self.b1) * g
+            gv = (1 - self.b2) * g * g
+            m = self._m.get(id(p))
+            if m is None:
+                self._m[id(p)], self._v[id(p)] = gm, gv
+                m, v = gm, gv
+            else:
+                v = self._v[id(p)]
+                m *= self.b1
+                m += gm
+                v *= self.b2
+                v += gv
             update = (m / b1t) / (np.sqrt(v / b2t) + self.eps)
             if self.weight_decay and self.decoupled:
                 update = update + self.weight_decay * p.data

@@ -22,8 +22,15 @@ from .observers import (MinMaxObserver, MovingAverageMinMaxObserver, Observer,
                         PerChannelMinMaxObserver)
 
 
-def fake_quant_ste(x: Tensor, qp: QuantParams) -> Tensor:
-    """Differentiable fake-quantize of ``x`` under params ``qp``."""
+def fake_quant_ste(x: Tensor, qp: QuantParams,
+                   module: Optional["FakeQuantize"] = None) -> Tensor:
+    """Differentiable fake-quantize of ``x`` under params ``qp``.
+
+    ``module`` — when the call comes from a :class:`FakeQuantize` —
+    travels with the traced op so the training-step compiler can re-read
+    a moving quantization grid on every replay; the forward executor
+    keeps folding the snapshot ``qp``.
+    """
     data = fake_quantize_array(x.data, qp)
     out = Tensor(data, requires_grad=x.requires_grad,
                  _parents=(x,) if x.requires_grad else ())
@@ -39,7 +46,8 @@ def fake_quant_ste(x: Tensor, qp: QuantParams) -> Tensor:
                 x._accumulate(g * m, owned=True)
         out._backward = _bw
     if _tensor._GRAPH_TRACER is not None:
-        _tensor._GRAPH_TRACER.emit("fake_quant", (x,), out, {"qp": qp})
+        _tensor._GRAPH_TRACER.emit("fake_quant", (x,), out,
+                                   {"qp": qp, "fq": module})
     return out
 
 
@@ -96,16 +104,24 @@ class FakeQuantize(Module):
         return self.observer.compute_qparams()
 
     # -- forward ---------------------------------------------------------- #
+    def _observe(self, xd: np.ndarray) -> None:
+        """Observer update as a replayable effect: the training-step
+        compiler records this exact callable so compiled steps move the
+        grid precisely the way eager steps do."""
+        self.observer.observe(xd)
+
     def forward(self, x: Tensor) -> Tensor:
         if self.observer_enabled and self.training and not self.frozen:
-            self.observer.observe(x.data)
+            self._observe(x.data)
+            if _tensor._GRAPH_TRACER is not None:
+                _tensor._GRAPH_TRACER.emit_effect(self._observe, x)
         if not self.fake_quant_enabled:
             return x
         if not self.frozen and not self.observer.initialized:
             # first ever call in eval mode before any observation: identity
             if not self.training:
                 return x
-        return fake_quant_ste(x, self.qparams())
+        return fake_quant_ste(x, self.qparams(), module=self)
 
     def __repr__(self):
         kind = type(self.observer).__name__

@@ -107,30 +107,49 @@ def qat_finetune(qat_model: QATModel, x_train: np.ndarray, y_train: np.ndarray,
                  momentum: float = 0.9, weight_decay: float = 0.0,
                  optimizer: Optional[Optimizer] = None,
                  rng: Optional[np.random.Generator] = None,
-                 log_fn: Optional[Callable[[str], None]] = None) -> QATModel:
+                 log_fn: Optional[Callable[[str], None]] = None,
+                 use_compiled: bool = True) -> QATModel:
     """Finetune with fake quantization in the loop (QAT proper).
 
     Mirrors the paper's recipe (§5.1): a couple of epochs of QAT after
     instrumenting the pretrained float model; more epochs stop helping
     accuracy but increase instability.
+
+    Full-size batches run through a compiled train-step program whose
+    replays re-read the moving quantization grids and replay the
+    observer updates, so compiled QAT is bit-identical to eager QAT
+    (validated at compile time; the eager tape serves the tail batch
+    and any fallback).
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     opt = optimizer if optimizer is not None else SGD(
         qat_model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
     n = len(x_train)
     qat_model.train()
+    step = None
+    if use_compiled:
+        from ..nn.train_graph import compile_train_step_or_none
+        nb = min(batch_size, n)
+        step = compile_train_step_or_none(qat_model, F.cross_entropy,
+                                          x_train[:nb], y_train[:nb], opt)
+        if step is None and log_fn:
+            log_fn("train-step compilation unavailable; using the eager tape")
     for epoch in range(epochs):
         order = rng.permutation(n)
         total_loss = 0.0
         for start in range(0, n, batch_size):
             idx = order[start:start + batch_size]
-            xb = Tensor(x_train[idx])
-            logits = qat_model(xb)
-            loss = F.cross_entropy(logits, y_train[idx])
-            opt.zero_grad()
-            loss.backward()
-            opt.step()
-            total_loss += float(loss.data) * len(idx)
+            yb = y_train[idx]
+            if step is not None and step.accepts(x_train[idx]):
+                batch_loss = step.step(x_train[idx], yb)
+            else:
+                logits = qat_model(Tensor(x_train[idx]))
+                loss = F.cross_entropy(logits, yb)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                batch_loss = float(loss.data)
+            total_loss += batch_loss * len(idx)
         if log_fn:
             log_fn(f"qat epoch {epoch}: loss={total_loss / n:.4f}")
     qat_model.eval()

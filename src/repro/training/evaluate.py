@@ -29,11 +29,28 @@ def compile_inference(model: Module, example: np.ndarray):
     return compile_forward_or_none(model, example)
 
 
+#: minimum batches of work before ``predict_logits`` self-compiles: the
+#: compile (trace + parity validation) costs roughly five batch passes
+#: and a warm replay saves ~0.4 of one, so break-even sits near a dozen
+#: batches — below that, small evaluations stay on the eager tape
+_AUTO_COMPILE_MIN_BATCHES = 12
+
+
 def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128,
                    executor=None) -> np.ndarray:
-    """Forward the whole array in eval mode; returns (N, classes) logits."""
+    """Forward the whole array in eval mode; returns (N, classes) logits.
+
+    When no ``executor`` is given and the workload is large enough to
+    amortize compilation (distillation teacher queries, big evaluation
+    sets), a compiled forward replay is built best-effort and used for
+    every batch; the eager tape remains the fallback.
+    """
     was_training = getattr(model, "training", False)
     model.eval()
+    if executor is None and isinstance(model, Module) \
+            and len(x) >= _AUTO_COMPILE_MIN_BATCHES * batch_size:
+        from ..nn.graph import compile_forward_or_none
+        executor = compile_forward_or_none(model, x[:batch_size])
     outs = []
     for start in range(0, len(x), batch_size):
         xb = x[start:start + batch_size]

@@ -46,7 +46,10 @@ class TestNESDiva:
         x, y = atk.x[:4], atk.y[:4]
         true_g = DIVA(orig, quant, steps=1, eps=EPS,
                       alpha=ALPHA).gradient(x, y)
-        nes_g = NESDiva(orig, quant, n_samples=64, sigma=1 / 255,
+        # 128 antithetic samples keep the estimate's variance low enough
+        # that the 0.1 floor is robust to bit-level retraining of the
+        # fixture model (64 samples sat within noise of it)
+        nes_g = NESDiva(orig, quant, n_samples=128, sigma=1 / 255,
                         steps=1, eps=EPS, alpha=ALPHA, seed=3).gradient(x, y)
         tg = true_g.reshape(len(x), -1)
         ng = nes_g.reshape(len(x), -1)
