@@ -273,6 +273,75 @@ def test_distill_epoch(benchmark, train_batch):
     benchmark.extra_info["protocol"] = "in-process"
 
 
+_EDGE_ARM = """
+import sys, time, statistics
+import numpy as np
+from repro.models import build_model
+from repro.quantization import prepare_qat, calibrate
+from repro.edge import compile_edge
+mode = sys.argv[1]
+rng = np.random.default_rng(0)
+x = rng.random((256, 3, 32, 32)).astype(np.float32)
+model = build_model("vggface", num_identities=50, image_size=32, width=8,
+                    seed=0)
+model.eval()
+q = prepare_qat(model, weight_bits=8, act_bits=8, per_channel=True)
+calibrate(q, x[:64])
+q.freeze()
+edge = compile_edge(q, 50)
+compiled = mode == "compiled"
+edge.predict(x, compiled=compiled)            # warm (and compile) the path
+chunks = []
+for _ in range(7):
+    t0 = time.perf_counter()
+    edge.predict(x, compiled=compiled)
+    chunks.append(time.perf_counter() - t0)
+print(statistics.median(chunks))
+"""
+
+
+def _edge_arm_seconds(mode):
+    """Warm int8 predict seconds for one engine arm in its own process
+    (same isolation rationale as the train-step arms)."""
+    import subprocess
+    import sys
+    out = subprocess.run([sys.executable, "-c", _EDGE_ARM, mode],
+                         capture_output=True, text=True, check=True)
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def test_edge_infer(benchmark):
+    """Compiled vs eager integer edge inference (VGGFaceNet int8,
+    batch 256, float32 pixels): the §6 deployed-artifact scoring cost
+    every face experiment and semi-blackbox query pays.  Both arms run
+    process-isolated; the compiled program additionally runs under
+    pytest-benchmark in this process for the kernel table."""
+    from repro.edge import compile_edge
+    from repro.models import build_model
+    from repro.quantization import calibrate, prepare_qat
+
+    eager_s = _edge_arm_seconds("eager")
+    compiled_s = _edge_arm_seconds("compiled")
+
+    rng = np.random.default_rng(0)
+    x = rng.random((256, 3, 32, 32)).astype(np.float32)
+    model = build_model("vggface", num_identities=50, image_size=32,
+                        width=8, seed=0)
+    model.eval()
+    q = prepare_qat(model, weight_bits=8, act_bits=8, per_channel=True)
+    calibrate(q, x[:64])
+    q.freeze()
+    edge = compile_edge(q, 50)
+    np.testing.assert_array_equal(edge.predict(x),
+                                  edge.predict(x, compiled=False))
+    benchmark(lambda: edge.predict(x))
+    benchmark.extra_info["model"] = "vggface"
+    benchmark.extra_info["edge_eager_ms"] = eager_s * 1e3
+    benchmark.extra_info["edge_compiled_ms"] = compiled_s * 1e3
+    benchmark.extra_info["edge_infer_speedup"] = eager_s / compiled_s
+    benchmark.extra_info["batch"] = len(x)
+
+
 def test_conv2d_forward_backward(benchmark, conv_inputs):
     x, w = conv_inputs
 

@@ -27,7 +27,7 @@ from typing import Optional
 #: benches that need no trained pipeline; keep in sync with bench_kernels.py
 FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
                      "or eager_forward or attack_step or attack_sweep "
-                     "or train_step or distill_epoch")
+                     "or train_step or distill_epoch or edge_infer")
 
 
 def repo_root() -> Path:
@@ -80,6 +80,7 @@ def summarize(raw: dict, sha: str) -> dict:
     sweep = {}
     train = {}
     distill = {}
+    edge = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
         if "[" in bench["name"]:        # parametrized: keep the variant tag
@@ -114,6 +115,14 @@ def summarize(raw: dict, sha: str) -> dict:
                 "speedup": extra["distill_epoch_speedup"],
                 "images": extra["images"],
             }
+        if "edge_infer_speedup" in extra:
+            edge = {
+                "model": extra["model"],
+                "eager_ms": extra["edge_eager_ms"],
+                "compiled_ms": extra["edge_compiled_ms"],
+                "speedup": extra["edge_infer_speedup"],
+                "batch": extra["batch"],
+            }
     eager = kernels.get("eager_forward_reference")
     compiled = kernels.get("compiled_replay_vs_eager_forward")
     if eager and compiled:
@@ -132,6 +141,7 @@ def summarize(raw: dict, sha: str) -> dict:
         "sweep_vs_sequential": sweep,
         "train_step": train,
         "distill_epoch": distill,
+        "edge_infer": edge,
     }
 
 
@@ -175,6 +185,11 @@ def main(argv: Optional[list] = None) -> int:
     if summary["distill_epoch"]:
         d = summary["distill_epoch"]
         print(f"  distill epoch {d['speedup']:.2f}x compiled vs eager")
+    if summary["edge_infer"]:
+        e = summary["edge_infer"]
+        print(f"  edge inference ({e['model']} int8, batch {e['batch']}) "
+              f"{e['speedup']:.2f}x compiled vs eager "
+              f"({e['eager_ms']:.1f} -> {e['compiled_ms']:.1f} ms)")
     return 0
 
 

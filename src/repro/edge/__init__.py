@@ -4,10 +4,12 @@ for the paper's §6 edge deployment)."""
 from .compile import compile_edge
 from .engine import (Dequantize, EdgeLogits, EdgeModel, EdgeOp, QConv2d,
                      QFlatten, QLinear, QMaxPool2d, QReLU, QuantizeInput)
+from .program import EdgeLoweringError, EdgeProgram
 from .serialization import load_edge_model, save_edge_model
 
 __all__ = [
     "compile_edge", "EdgeModel", "EdgeOp", "EdgeLogits",
+    "EdgeProgram", "EdgeLoweringError",
     "QuantizeInput", "QConv2d", "QLinear", "QReLU", "QMaxPool2d",
     "QFlatten", "Dequantize",
     "save_edge_model", "load_edge_model",

@@ -11,6 +11,13 @@ Requirements mirror a real converter's:
   is deliberately unsupported: production converters fold BN into convs,
   and edge-deployable models here are built BN-free (biased convs), which
   is also how the original VGG was trained.
+
+The returned :class:`EdgeModel` carries the eager op list as its
+reference semantics; ``predict`` lowers it further into per-shape
+compiled programs (:mod:`repro.edge.program`) on first use — zero-point
+folding, fused/LUT activations and planned buffers — bit-validated
+against the op loop, so conversion itself stays a pure, cheap
+op-list build.
 """
 
 from __future__ import annotations

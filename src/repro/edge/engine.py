@@ -10,34 +10,60 @@ arithmetic anywhere on the data path.
 
 Numerical relationship to the fake-quant (QAT) path: identical up to the
 31-bit quantization of the requantization multiplier, i.e. results on the
-integer grid match within 1 LSB (asserted by the test suite).
+integer grid match within 1 LSB (asserted by the test suite).  The ops in
+this module are the *reference semantics*: :meth:`EdgeModel.predict`
+routes batches through per-shape compiled programs
+(:mod:`repro.edge.program` — zero-point folding, fused/LUT activations,
+planned buffers) that are bit-validated against this eager op loop at
+build time and fall back to it, loudly, whenever lowering or validation
+fails.  ``predict(..., compiled=False)`` forces the eager loop.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..quantization.affine import QuantParams, quantize_multiplier
 
 
-def _requantize_vec(acc: np.ndarray, m0: np.ndarray, shift: np.ndarray,
-                    axis: Optional[int] = None) -> np.ndarray:
-    """Fixed-point requantization, optionally per-channel along ``axis``."""
-    m0 = np.asarray(m0, dtype=np.int64)
-    shift = np.asarray(shift, dtype=np.int64)
-    if axis is not None and m0.ndim == 1:
-        shape = [1] * acc.ndim
+def _prep_requant(m0, shift, ndim: Optional[int] = None,
+                  axis: Optional[int] = None):
+    """Broadcast-shaped ``(m0, rounding, total_shift)`` int64 triple.
+
+    Built once per op/program instead of reshaped on every call; the
+    rounding constant ``1 << (total - 1)`` is precomputed alongside.
+    """
+    m0 = np.atleast_1d(np.asarray(m0, dtype=np.int64))
+    shift = np.atleast_1d(np.asarray(shift, dtype=np.int64))
+    if ndim is not None and axis is not None:
+        shape = [1] * ndim
         shape[axis] = m0.size
         m0 = m0.reshape(shape)
         shift = shift.reshape(shape)
     total = 31 + shift
-    prod = acc.astype(np.int64) * m0
     rounding = np.int64(1) << (total - 1)
-    rounding = np.where(prod >= 0, rounding, rounding - 1)
-    return (prod + rounding) >> total
+    return m0, rounding, total
+
+
+def _requantize_prepped(acc: np.ndarray, m0: np.ndarray, rounding: np.ndarray,
+                        total: np.ndarray) -> np.ndarray:
+    """Multiply-round-shift with precomputed broadcast operands.
+
+    Allocates one int64 product buffer and runs the rounding add and the
+    arithmetic right shift in place on it (round half away from zero:
+    ``prod + rounding - (prod < 0)``, bit-equal to the historical
+    ``where(prod >= 0, r, r - 1)`` formulation).
+    """
+    prod = np.multiply(acc, m0, dtype=np.int64)
+    neg = prod < 0
+    prod += rounding
+    np.subtract(prod, neg, out=prod)
+    np.right_shift(prod, total, out=prod)
+    return prod
 
 
 class EdgeOp:
@@ -49,14 +75,24 @@ class EdgeOp:
 
 @dataclass
 class QuantizeInput(EdgeOp):
-    """Float pixels -> integer grid (the only non-integer boundary op)."""
+    """Float pixels -> integer grid (the only non-integer boundary op).
+
+    Quantization runs in the input's *native* float dtype (the PR 2
+    dtype policy: float64 experiments, float32 benches) — python-float
+    scale/zero-point scalars do not upcast the array — so benches never
+    pay a float64 round trip on the pixel tensor.  Non-float inputs are
+    promoted to float64.
+    """
 
     qp: QuantParams
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            x = x.astype(np.float64)
         s = float(self.qp.scale)
         z = float(self.qp.zero_point)
-        q = np.round(x.astype(np.float64) / s) + z
+        q = np.round(x / s) + z
         return np.clip(q, self.qp.qmin, self.qp.qmax).astype(np.int32)
 
 
@@ -84,6 +120,8 @@ class QConv2d(EdgeOp):
         self.m0 = np.array([p[0] for p in pairs], dtype=np.int64)
         self.shift = np.array([p[1] for p in pairs], dtype=np.int64)
         self.per_channel = w_qp.axis is not None
+        self._m0_b, self._round_b, self._total_b = _prep_requant(
+            self.m0, self.shift, 4, 1 if self.per_channel else None)
 
     def __call__(self, q: np.ndarray) -> np.ndarray:
         from ..nn.functional import _im2col
@@ -110,8 +148,7 @@ class QConv2d(EdgeOp):
             acc = np.einsum("ngxyk,gfk->ngfxy", cols2, wmat)
             acc = acc.reshape(N, F_out, oh, ow)
         acc = acc + self.bias_q.reshape(1, F_out, 1, 1)
-        out = _requantize_vec(acc, self.m0, self.shift,
-                              axis=1 if self.per_channel else None)
+        out = _requantize_prepped(acc, self._m0_b, self._round_b, self._total_b)
         out = out + int(self.out_qp.zero_point)
         return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
 
@@ -132,12 +169,13 @@ class QLinear(EdgeOp):
         self.m0 = np.array([p[0] for p in pairs], dtype=np.int64)
         self.shift = np.array([p[1] for p in pairs], dtype=np.int64)
         self.per_channel = w_qp.axis is not None
+        self._m0_b, self._round_b, self._total_b = _prep_requant(
+            self.m0, self.shift, 2, 1 if self.per_channel else None)
 
     def __call__(self, q: np.ndarray) -> np.ndarray:
         centered = q.astype(np.int64) - int(self.in_qp.zero_point)
         acc = centered @ self.q_weight.T + self.bias_q
-        out = _requantize_vec(acc, self.m0, self.shift,
-                              axis=1 if self.per_channel else None)
+        out = _requantize_prepped(acc, self._m0_b, self._round_b, self._total_b)
         out = out + int(self.out_qp.zero_point)
         return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
 
@@ -150,10 +188,12 @@ class QReLU(EdgeOp):
         self.out_qp = out_qp
         m0, shift = quantize_multiplier(float(in_qp.scale) / float(out_qp.scale))
         self.m0, self.shift = m0, shift
+        self._m0_b, self._round_b, self._total_b = _prep_requant(m0, shift)
 
     def __call__(self, q: np.ndarray) -> np.ndarray:
         centered = np.maximum(q.astype(np.int64) - int(self.in_qp.zero_point), 0)
-        out = _requantize_vec(centered, np.int64(self.m0), np.int64(self.shift))
+        out = _requantize_prepped(centered, self._m0_b, self._round_b,
+                                  self._total_b)
         out = out + int(self.out_qp.zero_point)
         return np.clip(out, self.out_qp.qmin, self.out_qp.qmax).astype(np.int32)
 
@@ -198,25 +238,65 @@ class EdgeModel:
 
     Behaves like a model for evaluation purposes (``__call__`` on float
     pixel arrays returning float logits) but executes entirely on the
-    integer path in between.
+    integer path in between.  Batches route through per-(shape, dtype)
+    cached :class:`~repro.edge.program.EdgeProgram` plans that are
+    bit-validated against the eager op loop when first built; lowering
+    or validation failure warns and pins the eager loop for that shape.
     """
 
     def __init__(self, ops: Sequence[EdgeOp], num_classes: int):
         self.ops = list(ops)
         self.num_classes = num_classes
         self.training = False
+        self._programs: Dict[tuple, object] = {}
+        self._pool = None
 
     def eval(self) -> "EdgeModel":
         return self
 
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def _eager_forward(self, q: np.ndarray) -> np.ndarray:
+        """The reference per-op loop (also the compiled path's oracle)."""
+        for op in self.ops:
+            q = op(q)
+        return np.asarray(q)
+
+    def _program_for(self, q: np.ndarray):
+        """Cached per-shape program, or None when this shape fell back.
+
+        The cache never evicts and each new (shape, dtype) pays one
+        compile + eager-validation pass, which only amortizes on
+        repeated shapes — callers scoring many distinct batch sizes
+        should bucket them (as ``predict`` batching does) or pass
+        ``compiled=False``.
+        """
+        key = (q.shape, q.dtype.str)
+        if key not in self._programs:
+            from ..nn.graph import ScratchPool
+            from .program import EdgeProgram
+            if self._pool is None:
+                self._pool = ScratchPool()
+            try:
+                self._programs[key] = EdgeProgram(self, q, pool=self._pool)
+            except Exception as exc:   # lowering/validation failure -> eager
+                warnings.warn(
+                    f"edge program lowering failed for input {q.shape} "
+                    f"{q.dtype}: {exc}; running the eager integer op loop",
+                    RuntimeWarning, stacklevel=3)
+                self._programs[key] = None
+        return self._programs[key]
+
+    def predict(self, x: np.ndarray, batch_size: int = 256,
+                compiled: bool = True) -> np.ndarray:
         """Float pixels in, float logits out (integer path inside)."""
+        x = np.asarray(x)
         outs = []
         for start in range(0, len(x), batch_size):
-            q = x[start:start + batch_size]
-            for op in self.ops:
-                q = op(q)
-            outs.append(np.asarray(q))
+            chunk = x[start:start + batch_size]
+            prog = self._program_for(chunk) if compiled else None
+            if prog is not None:
+                outs.append(prog.run(chunk))
+            else:
+                outs.append(self._eager_forward(chunk))
         return np.concatenate(outs, axis=0)
 
     def __call__(self, x) -> "EdgeLogits":

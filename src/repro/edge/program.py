@@ -1,0 +1,502 @@
+"""Compiled integer inference programs — the edge engine's planned,
+fused execution path.
+
+:class:`EdgeProgram` lowers an :class:`~repro.edge.engine.EdgeModel`'s
+op list into a pipeline planned for one (batch, input shape, dtype), the
+fourth and final leg of the compiled-executor architecture
+(``nn/graph.py`` forward replay, ``attacks/engine.py`` paired attacks,
+``nn/train_graph.py`` training).  Three lowerings do the work:
+
+**Zero-point folding.**  The eager ``QConv2d``/``QLinear`` center the
+whole activation tensor before the matmul (``q - z_in``, an
+O(N·C·H·W) int64 subtract-and-copy).  The program uses the identity
+``W @ (q - z) = W @ q - z · rowsum(W)`` and folds ``z_in · Σw`` into the
+quantized bias at plan time, so the centering pass disappears.  Padded
+convolutions pad with ``z_in`` instead of 0 (the centered image's zero
+*is* ``z_in`` on the raw grid), which keeps the identity exact on border
+windows; the pad border is written once at plan time since it never
+changes.
+
+**Fused / LUT activations.**  A ``QReLU`` whose input and output grids
+share one scale is absorbed into the preceding conv/linear's
+requantization, TFLite-style, as a clamped output range: with conv
+output grid ``(s, z1)`` and relu output grid ``(s, z2)`` the exact
+composition of the two eager ops is ``clamp(t + z2, max(qmin, z2),
+min(qmax, qmax - z1 + z2))`` where ``t`` is the requantized accumulator
+— the relu's identity multiplier requantization is lossless on
+non-negative inputs, so fusion is bit-exact and one full requantize
+pass plus its intermediate tensor vanish.  When the grids differ the op
+stays standalone but is lowered to a 256-entry lookup table built *by
+the eager op itself* over its input grid, replacing the
+multiply-round-shift arithmetic with one gather (bit-exact by
+construction).
+
+**Planned buffers.**  All scratch (pad images, im2col gathers,
+accumulators, sign masks, activations) is pre-sized per program from a
+:class:`~repro.nn.graph.ScratchPool` shared across the model's per-shape
+programs, with activation buffers ping-ponged so producers and consumers
+never alias.  The integer matmul runs as a float64 GEMM: with int8
+weights and sub-9-bit activations every product and partial sum is an
+integer below 2**53, so BLAS dgemm returns the exact integer
+accumulator (the bound ``Σ|w|·max|q| + |bias|`` is checked per filter
+at plan time, against both the 2**53 exactness limit and the int64
+requantization headroom; layers that exceed it refuse to lower).  The
+requantization multiply-round-shift then runs in place on one int64
+buffer with broadcast-shaped ``m0``/``shift``/rounding constants built
+at plan time, and the final clamp writes straight into the next int32
+activation buffer — accumulators live in the narrowest width that is
+provably safe (int8-valued float64 weights, int32 activations, one
+int64 requantize buffer).
+
+Safety mirrors ``graph.py``/``train_graph.py``: a freshly planned
+program replays the build batch and must match the eager op loop
+**bit for bit**, else it raises and :meth:`EdgeModel.predict` warns and
+pins the eager loop for that shape — a fallback run is exactly the run
+that was never compiled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.graph import ScratchPool
+from .engine import (Dequantize, EdgeModel, QConv2d, QFlatten, QLinear,
+                     QMaxPool2d, QReLU, QuantizeInput, _prep_requant)
+
+#: float64 GEMM exactness limit: integer sums must stay below 2**53
+_F64_EXACT = np.int64(1) << 53
+#: requantize headroom: |acc| * m0 (< 2**31) must stay inside int64
+_REQUANT_SAFE = np.int64(1) << 31
+
+
+class EdgeLoweringError(Exception):
+    """An op sequence this planner cannot lower bit-exactly."""
+
+
+def _window_view(x: np.ndarray, kh: int, kw: int, sh: int, sw: int):
+    """Sliding (N, C, kh, kw, OH, OW) window view over NCHW ``x``."""
+    N, C, H, W = x.shape
+    oh = (H - kh) // sh + 1
+    ow = (W - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x, shape=(N, C, kh, kw, oh, ow),
+        strides=(s0, s1, s2, s3, s2 * sh, s3 * sw), writeable=False)
+    return view, oh, ow
+
+
+def _fill_border(pad: np.ndarray, p: int, value: int) -> None:
+    """Write a constant ``p``-wide border frame (plan-time, once)."""
+    pad[:, :, :p, :].fill(value)
+    pad[:, :, -p:, :].fill(value)
+    pad[:, :, p:-p, :p].fill(value)
+    pad[:, :, p:-p, -p:].fill(value)
+
+
+def _scalar_qp(qp) -> Tuple[float, int, int, int]:
+    if qp.axis is not None:
+        raise EdgeLoweringError("activation grids must be per-tensor")
+    return (float(qp.scale), int(qp.zero_point), int(qp.qmin), int(qp.qmax))
+
+
+def _can_fuse_relu(prev, relu: QReLU) -> bool:
+    """True when the relu is an exact clamp on the grid ``prev`` wrote."""
+    try:
+        s_in, z_in, lo_in, hi_in = _scalar_qp(relu.in_qp)
+        s_out, _, _, _ = _scalar_qp(relu.out_qp)
+        s_prev, z_prev, lo_prev, hi_prev = _scalar_qp(prev.out_qp)
+    except EdgeLoweringError:
+        return False
+    return (s_in == s_out and s_in == s_prev and z_in == z_prev
+            and lo_in == lo_prev and hi_in == hi_prev)
+
+
+class _Step:
+    """One planned pipeline stage: int/float buffers in, buffer out."""
+
+    def run(self, q: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _QuantizeStep(_Step):
+    """Float pixels -> int32 grid, in the input's native float dtype."""
+
+    def __init__(self, op: QuantizeInput, n: int, shape, dtype, pool,
+                 out: np.ndarray):
+        self.s = float(op.qp.scale)
+        self.z = float(op.qp.zero_point)
+        self.qmin, self.qmax = op.qp.qmin, op.qp.qmax
+        fdtype = dtype if np.issubdtype(dtype, np.floating) else np.float64
+        self.cast = None if np.issubdtype(dtype, np.floating) else np.float64
+        self.fbuf = pool.acquire(("edge-qf",), n, shape[1:], fdtype, None)[:n]
+        self.out = out
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if self.cast is not None:
+            x = x.astype(self.cast)
+        np.divide(x, self.s, out=self.fbuf)
+        np.round(self.fbuf, out=self.fbuf)
+        self.fbuf += self.z
+        np.clip(self.fbuf, self.qmin, self.qmax, out=self.fbuf)
+        np.copyto(self.out, self.fbuf, casting="unsafe")
+        return self.out
+
+
+class _MatmulMixin:
+    """Shared conv/linear lowering: folded bias, exactness gate, fused
+    or plain requantization bounds."""
+
+    def _plan_requant(self, op, fused_relu: Optional[QReLU],
+                      chan_shape: Optional[Tuple[int, ...]] = None):
+        """(z_out, lo, hi, m0, rounding, total) for the output clamp.
+
+        ``chan_shape`` reshapes per-channel multipliers to broadcast
+        against the accumulator layout (convs: ``(G, 1, 1, 1, Fg)``);
+        per-tensor multipliers stay size-1 and broadcast untouched.
+        """
+        _, z1, lo1, hi1 = _scalar_qp(op.out_qp)
+        if fused_relu is None:
+            z_out, lo, hi = z1, lo1, hi1
+        else:
+            _, z2, lo2, hi2 = _scalar_qp(fused_relu.out_qp)
+            z_out = z2
+            lo = max(lo2, z2)
+            hi = min(hi2, hi1 - z1 + z2)
+        m0, rounding, total = _prep_requant(op.m0, op.shift)
+        if op.per_channel and chan_shape is not None:
+            m0 = m0.reshape(chan_shape)
+            rounding = rounding.reshape(chan_shape)
+            total = total.reshape(chan_shape)
+        return z_out, lo, hi, m0, rounding, total
+
+    @staticmethod
+    def _fold_bias(op) -> np.ndarray:
+        w = op.q_weight.reshape(op.q_weight.shape[0], -1)
+        z_in = int(op.in_qp.zero_point)
+        return op.bias_q - z_in * w.sum(axis=1)
+
+    @staticmethod
+    def _check_bounds(op, eff_bias: np.ndarray) -> None:
+        w = op.q_weight.reshape(op.q_weight.shape[0], -1)
+        qabs = max(abs(int(op.in_qp.qmin)), abs(int(op.in_qp.qmax)))
+        bound = (np.abs(w).sum(axis=1) * qabs + np.abs(eff_bias)).max()
+        if bound >= min(_F64_EXACT, _REQUANT_SAFE):
+            raise EdgeLoweringError(
+                f"accumulator bound {bound} exceeds the exact-GEMM / "
+                "requantization headroom")
+
+    def _requant_clamp_store(self, out_view: np.ndarray) -> None:
+        """Exact-int float64 accumulator -> requantized int32 output.
+
+        The multiply-round-shift runs in place on the planned int64
+        buffer; the final clamp writes straight into ``out_view``.  The
+        one home of this sequence for both conv and linear steps — it
+        must stay bit-equal to ``engine._requantize_prepped``.
+        """
+        acc = self.acci
+        np.copyto(acc, self.accf, casting="unsafe")  # exact: integer values
+        np.multiply(acc, self.m0, out=acc)
+        np.less(acc, 0, out=self.neg)
+        acc += self.rounding
+        np.subtract(acc, self.neg, out=acc)
+        np.right_shift(acc, self.total, out=acc)
+        acc += self.z_out
+        np.clip(acc, self.lo, self.hi, out=out_view)
+
+
+class _ConvStep(_Step, _MatmulMixin):
+    """Zero-point-folded integer convolution via exact float64 GEMM."""
+
+    def __init__(self, op: QConv2d, n: int, shape, pool,
+                 fused_relu: Optional[QReLU], out: np.ndarray):
+        N, C, H, W = shape
+        F_out, _, kh, kw = op.q_weight.shape
+        G = op.groups
+        Cg, Fg = C // G, F_out // G
+        st, p = op.stride, op.padding
+        oh = (H + 2 * p - kh) // st + 1
+        ow = (W + 2 * p - kw) // st + 1
+        self.kh, self.kw, self.st, self.p = kh, kw, st, p
+        self.G, self.Cg = G, Cg
+        Kg = Cg * kh * kw
+        eff_bias = self._fold_bias(op)
+        self._check_bounds(op, eff_bias)
+        self.biasf = eff_bias.astype(np.float64).reshape(G, 1, 1, 1, Fg)
+        # (G, Kg, Fg) float64 weight panels for the batched dgemm
+        self.wf = np.ascontiguousarray(
+            op.q_weight.reshape(G, Fg, Kg).transpose(0, 2, 1)
+            .astype(np.float64))
+        (self.z_out, self.lo, self.hi, self.m0, self.rounding,
+         self.total) = self._plan_requant(op, fused_relu, (G, 1, 1, 1, Fg))
+        M = N * oh * ow
+        if p:
+            z_in = int(op.in_qp.zero_point)
+            # padding width keys the buffer too: same padded shape with a
+            # different border width must not share plan-time border fills
+            pad = pool.acquire(("edge-pad", z_in, p), n,
+                               (C, H + 2 * p, W + 2 * p), np.int32, None)[:n]
+            # the border is the folded zero-point, constant across runs
+            _fill_border(pad, p, z_in)
+            self.pad = pad
+            self.pad_interior = pad[:, :, p:-p, p:-p]
+            view, _, _ = _window_view(pad, kh, kw, st, st)
+            self.src = view.reshape(N, G, Cg, kh, kw, oh, ow).transpose(
+                1, 0, 5, 6, 2, 3, 4)
+        else:
+            self.pad = None
+
+        def scratch(tag, per_elem, dtype):
+            # group-major scratch carved from a flat pooled slab: the
+            # pool's growable axis stays the batch, the (G, N, ...)
+            # layout the batched GEMM needs is a plain reshape of it
+            flat = pool.acquire((tag,), n, (G * per_elem,), dtype, None)[:n]
+            return flat.reshape(G, N, oh, ow, -1)
+
+        self.colsf = scratch("edge-colsf", oh * ow * Kg, np.float64)
+        self.accf = scratch("edge-accf", oh * ow * Fg, np.float64)
+        self.acci = scratch("edge-acci", oh * ow * Fg, np.int64)
+        self.neg = scratch("edge-neg", oh * ow * Fg, np.bool_)
+        # (G, N, OH, OW, Fg) write view of the (N, F, OH, OW) activation
+        self.out = out
+        self.out_view = out.reshape(N, G, Fg, oh, ow).transpose(1, 0, 3, 4, 2)
+        self.Kg = Kg
+        self.M, self.Fg = M, Fg
+
+    def run(self, q: np.ndarray) -> np.ndarray:
+        if self.pad is not None:
+            np.copyto(self.pad_interior, q)
+            src = self.src
+        else:
+            view, oh, ow = _window_view(q, self.kh, self.kw, self.st, self.st)
+            N = q.shape[0]
+            src = view.reshape(N, self.G, self.Cg, self.kh, self.kw,
+                               oh, ow).transpose(1, 0, 5, 6, 2, 3, 4)
+        cols = self.colsf
+        np.copyto(cols.reshape(src.shape), src)      # gather + int->f64 cast
+        np.matmul(cols.reshape(self.G, self.M, self.Kg), self.wf,
+                  out=self.accf.reshape(self.G, self.M, self.Fg))
+        self.accf += self.biasf
+        self._requant_clamp_store(self.out_view)
+        return self.out
+
+
+class _LinearStep(_Step, _MatmulMixin):
+    """Zero-point-folded integer linear layer via exact float64 GEMM."""
+
+    def __init__(self, op: QLinear, n: int, shape, pool,
+                 fused_relu: Optional[QReLU], out: np.ndarray):
+        _, K = shape
+        if K != op.q_weight.shape[1]:
+            raise EdgeLoweringError(
+                f"linear expects {op.q_weight.shape[1]} features, got {K}")
+        eff_bias = self._fold_bias(op)
+        self._check_bounds(op, eff_bias)
+        self.biasf = eff_bias.astype(np.float64)
+        self.wf = np.ascontiguousarray(op.q_weight.T.astype(np.float64))
+        # per-channel multipliers broadcast along the (N, F) feature axis
+        (self.z_out, self.lo, self.hi, self.m0, self.rounding,
+         self.total) = self._plan_requant(op, fused_relu)
+        F_out = op.q_weight.shape[0]
+        self.xf = pool.acquire(("edge-colsf",), n, (K,), np.float64, None)[:n]
+        self.accf = pool.acquire(("edge-accf",), n, (F_out,), np.float64,
+                                 None)[:n]
+        self.acci = pool.acquire(("edge-acci",), n, (F_out,), np.int64,
+                                 None)[:n]
+        self.neg = pool.acquire(("edge-neg",), n, (F_out,), np.bool_,
+                                None)[:n]
+        self.out = out
+
+    def run(self, q: np.ndarray) -> np.ndarray:
+        np.copyto(self.xf, q)
+        np.matmul(self.xf, self.wf, out=self.accf)
+        self.accf += self.biasf
+        self._requant_clamp_store(self.out)
+        return self.out
+
+
+class _ReLUStep(_Step):
+    """Standalone QReLU as a grid-sized lookup table (one gather)."""
+
+    def __init__(self, op: QReLU, out: np.ndarray):
+        self.qmin = int(op.in_qp.qmin)
+        grid = np.arange(self.qmin, int(op.in_qp.qmax) + 1, dtype=np.int32)
+        self.lut = np.ascontiguousarray(op(grid).astype(np.int32))
+        self.out = out
+
+    def run(self, q: np.ndarray) -> np.ndarray:
+        np.subtract(q, self.qmin, out=q)   # q is a dead pooled buffer
+        np.take(self.lut, q, out=self.out, mode="clip")
+        return self.out
+
+
+class _PoolStep(_Step):
+    """Integer max pooling over a planned window view."""
+
+    def __init__(self, op: QMaxPool2d, n: int, shape, pool, out: np.ndarray):
+        N, C, H, W = shape
+        k = op.kernel
+        self.k = k
+        self.st = op.stride if op.stride is not None else k
+        self.p = op.padding
+        if self.p:
+            fill = int(np.iinfo(np.int32).min)
+            p = self.p
+            pad = pool.acquire(("edge-pad", fill, p), n,
+                               (C, H + 2 * p, W + 2 * p),
+                               np.int32, None)[:n]
+            _fill_border(pad, p, fill)
+            self.pad = pad
+            self.pad_interior = pad[:, :, p:-p, p:-p]
+            self.src, _, _ = _window_view(pad, k, k, self.st, self.st)
+        else:
+            self.pad = None
+        self.out = out
+
+    def run(self, q: np.ndarray) -> np.ndarray:
+        if self.pad is not None:
+            np.copyto(self.pad_interior, q)
+            src = self.src
+        else:
+            src, _, _ = _window_view(q, self.k, self.k, self.st, self.st)
+        src.max(axis=(2, 3), out=self.out)
+        return self.out
+
+
+class _FlattenStep(_Step):
+    def run(self, q: np.ndarray) -> np.ndarray:
+        return q.reshape(len(q), -1)
+
+
+class _DequantStep(_Step):
+    """Integer grid -> freshly-owned float64 logits."""
+
+    def __init__(self, op: Dequantize):
+        self.s = float(op.qp.scale)
+        self.z = float(op.qp.zero_point)
+
+    def run(self, q: np.ndarray) -> np.ndarray:
+        out = np.empty(q.shape, dtype=np.float64)
+        np.copyto(out, q)
+        out -= self.z
+        out *= self.s
+        return out
+
+
+class EdgeProgram:
+    """A planned, fused integer pipeline for one (batch shape, dtype).
+
+    Build with the :class:`EdgeModel` whose ops to lower and an example
+    batch; construction validates the program bit-for-bit against the
+    model's eager op loop on that batch and raises
+    :class:`EdgeLoweringError` on any mismatch or unloweable op.
+    """
+
+    def __init__(self, model: EdgeModel, example: np.ndarray,
+                 pool: Optional[ScratchPool] = None, validate: bool = True):
+        x = np.asarray(example)
+        if x.ndim < 2 or len(x) == 0:
+            raise EdgeLoweringError("example batch must be non-empty")
+        pool = pool if pool is not None else ScratchPool()
+        n = len(x)
+        shape: Tuple[int, ...] = x.shape
+        self.steps: List[_Step] = []
+        self.fused_relus = 0
+        parity = 0
+        owns_current = False   # does the running value live in our buffers?
+
+        def act(new_shape) -> np.ndarray:
+            nonlocal parity, owns_current
+            buf = pool.acquire(("edge-act", parity), n, tuple(new_shape[1:]),
+                               np.int32, None)[:n]
+            parity ^= 1
+            owns_current = True
+            return buf
+
+        ops = list(model.ops)
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            if isinstance(op, QuantizeInput):
+                out = act(shape)
+                self.steps.append(_QuantizeStep(op, n, shape, x.dtype,
+                                                pool, out))
+            elif isinstance(op, (QConv2d, QLinear)):
+                fused = None
+                if (i + 1 < len(ops) and isinstance(ops[i + 1], QReLU)
+                        and _can_fuse_relu(op, ops[i + 1])):
+                    fused = ops[i + 1]
+                    self.fused_relus += 1
+                    i += 1
+                if isinstance(op, QConv2d):
+                    if len(shape) != 4:
+                        raise EdgeLoweringError("conv input must be NCHW")
+                    N, C, H, W = shape
+                    kh, kw = op.q_weight.shape[2:]
+                    oh = (H + 2 * op.padding - kh) // op.stride + 1
+                    ow = (W + 2 * op.padding - kw) // op.stride + 1
+                    if oh < 1 or ow < 1 or C % op.groups:
+                        raise EdgeLoweringError("conv geometry is invalid")
+                    shape = (N, op.q_weight.shape[0], oh, ow)
+                    out = act(shape)
+                    self.steps.append(_ConvStep(op, n, (N, C, H, W), pool,
+                                                fused, out))
+                else:
+                    if len(shape) != 2:
+                        raise EdgeLoweringError("linear input must be 2-D")
+                    in_shape = shape
+                    shape = (shape[0], op.q_weight.shape[0])
+                    out = act(shape)
+                    self.steps.append(_LinearStep(op, n, in_shape, pool,
+                                                  fused, out))
+            elif isinstance(op, QReLU):
+                if not owns_current:
+                    # the LUT step reclaims its input buffer in place,
+                    # which must never be the caller's array
+                    raise EdgeLoweringError("relu on the raw program input")
+                out = act(shape)
+                self.steps.append(_ReLUStep(op, out))
+            elif isinstance(op, QMaxPool2d):
+                if len(shape) != 4:
+                    raise EdgeLoweringError("maxpool input must be NCHW")
+                N, C, H, W = shape
+                st = op.stride if op.stride is not None else op.kernel
+                oh = (H + 2 * op.padding - op.kernel) // st + 1
+                ow = (W + 2 * op.padding - op.kernel) // st + 1
+                if oh < 1 or ow < 1:
+                    raise EdgeLoweringError("maxpool geometry is invalid")
+                shape = (N, C, oh, ow)
+                out = act(shape)
+                self.steps.append(_PoolStep(op, n, (N, C, H, W), pool, out))
+            elif isinstance(op, QFlatten):
+                shape = (shape[0], int(np.prod(shape[1:])))
+                self.steps.append(_FlattenStep())
+            elif isinstance(op, Dequantize):
+                self.steps.append(_DequantStep(op))
+            else:
+                raise EdgeLoweringError(
+                    f"cannot lower op {type(op).__name__}")
+            i += 1
+        # only _DequantStep allocates an owned result; any other tail
+        # leaves the value in a pooled buffer the next run() overwrites
+        self._owns_output = bool(self.steps) and isinstance(
+            self.steps[-1], _DequantStep)
+        if validate:
+            self._validate(model, x)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the planned pipeline; returns freshly-owned logits."""
+        q = np.asarray(x)
+        for step in self.steps:
+            q = step.run(q)
+        return q if self._owns_output else q.copy()
+
+    # -- validation ----------------------------------------------------- #
+    def _validate(self, model: EdgeModel, example: np.ndarray) -> None:
+        ref = model._eager_forward(example)
+        got = self.run(example)
+        if (got.shape != ref.shape or got.dtype != ref.dtype
+                or not np.array_equal(got, ref)):
+            raise EdgeLoweringError(
+                "compiled edge program does not match the eager op loop")

@@ -4,6 +4,11 @@ Stores a compiled :class:`~repro.edge.engine.EdgeModel` as an
 ``.npz`` of integer tensors plus an op program, so a device-side process
 can run inference with nothing but this file and the engine (no float
 weights ever leave the server, matching real edge deployments).
+
+Only the op list is serialized: a loaded model re-plans its fused
+per-shape :class:`~repro.edge.program.EdgeProgram` lazily on first
+``predict``, so artifacts written before the compiled path existed run
+through it unchanged.
 """
 
 from __future__ import annotations

@@ -91,6 +91,29 @@ class TestEngineOps:
         assert q.dtype == np.int32
         assert q.min() >= -128 and q.max() <= 127
 
+    def test_quantize_input_native_dtype_grid(self):
+        """PR 2 dtype policy: float32 pixels quantize in float32 (no
+        float64 round trip) and land on the unchanged integer grid."""
+        from repro.edge.engine import QuantizeInput
+        qp = choose_qparams(np.float64(-1), np.float64(1), -128, 127)
+        op = QuantizeInput(qp)
+        s, z = float(qp.scale), float(qp.zero_point)
+        rng = np.random.default_rng(0)
+        # grid-centered samples stay well away from rounding ties, so
+        # the float32 and float64 paths must agree bit for bit
+        k = rng.integers(qp.qmin, qp.qmax + 1, size=(4, 3, 8, 8))
+        x64 = (k - z + rng.uniform(-0.45, 0.45, size=k.shape)) * s
+        q64 = op(x64)
+        q32 = op(x64.astype(np.float32))
+        assert q64.dtype == np.int32 and q32.dtype == np.int32
+        np.testing.assert_array_equal(q32, q64)
+        # the pre-policy float64-upcast formula, for the grid pin
+        ref = np.clip(np.round(x64.astype(np.float64) / s) + z,
+                      qp.qmin, qp.qmax).astype(np.int32)
+        np.testing.assert_array_equal(q64, ref)
+        # non-float inputs still promote to float64
+        np.testing.assert_array_equal(op(k * 0), op((k * 0).astype(np.float64)))
+
     def test_qrelu_zeroes_negatives(self):
         from repro.edge.engine import QReLU
         in_qp = QuantParams(scale=np.float64(0.1), zero_point=np.float64(10),
