@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-all
+.PHONY: test bench bench-all docs-check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -11,3 +11,11 @@ bench:
 
 bench-all:
 	$(PYTHON) -m repro.benchrunner --all
+
+# scripts/check_docs.py owns the authoritative doctest module list
+# (DOCTEST_MODULES) and the markdown link/anchor check; the direct
+# `python -m doctest` line is a packaging-free smoke for the one
+# dependency-less module (runs without PYTHONPATH or install).
+docs-check:
+	$(PYTHON) -m doctest src/repro/serve/cache.py
+	$(PYTHON) scripts/check_docs.py

@@ -42,6 +42,12 @@ def main() -> None:
     edge = compile_edge(qat, 10)
 
     print("== 2. QAT-vs-edge parity ==")
+    # predict() routes through the compiled per-shape edge programs
+    # (zero-point folding, fused/LUT activations); they must match the
+    # reference integer op loop bit for bit before anything is scored
+    np.testing.assert_array_equal(edge.predict(val.x),
+                                  edge.predict(val.x, compiled=False))
+    print("  compiled edge programs bit-match the eager integer op loop")
     pe = edge.predict(val.x).argmax(1)
     pq = predict_labels(qat, val.x)
     print(f"  float acc {evaluate_accuracy(model, val.x, val.y):.1%} | "

@@ -7,9 +7,11 @@ on, from scratch on numpy: a reverse-mode autodiff framework
 and pruning (:mod:`repro.pruning`), knowledge distillation
 (:mod:`repro.distillation`), the attack family (:mod:`repro.attacks`),
 robust training (:mod:`repro.defense`), an integer edge inference engine
-(:mod:`repro.edge`), the paper's metrics (:mod:`repro.metrics`) and the
+(:mod:`repro.edge`), the paper's metrics (:mod:`repro.metrics`), the
 experiment harness regenerating every table and figure
-(:mod:`repro.experiments`).
+(:mod:`repro.experiments`), and the multi-tenant serving layer
+multiplexing concurrent attack/inference jobs over shared compiled
+programs (:mod:`repro.serve`).
 
 Quickstart
 ----------
@@ -22,10 +24,10 @@ Quickstart
 __version__ = "1.0.0"
 
 from . import (analysis, attacks, data, defense, distillation, edge, metrics,
-               models, nn, pruning, quantization, training, utils)
+               models, nn, pruning, quantization, serve, training, utils)
 
 __all__ = [
     "nn", "models", "data", "quantization", "pruning", "distillation",
-    "attacks", "defense", "edge", "metrics", "analysis", "training",
-    "utils", "__version__",
+    "attacks", "defense", "edge", "metrics", "analysis", "serve",
+    "training", "utils", "__version__",
 ]

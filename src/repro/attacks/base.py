@@ -27,7 +27,11 @@ Subclasses compile their frozen models into replayable programs
 (:mod:`repro.nn.graph`) — DIVA-family attacks fuse the (original,
 adapted) pair into a :class:`~repro.attacks.engine.PairedExecutor` with
 shared scratch and one combined softmax-seeded backward — and fall back
-to the eager tape whenever compilation is unsupported.  Attacks with
+to the eager tape whenever compilation is unsupported.  Compiled
+programs live in the attack's :class:`~repro.serve.PlanCache`
+(private by default; a :class:`~repro.serve.ServeSession` rebinds it to
+a shared budgeted store, and :meth:`Attack.serve_signature` tells the
+serving scheduler which instances' jobs may merge).  Attacks with
 full-batch gradient state (momentum) keep the legacy per-batch loop
 (``shrink_done = False``).
 """
@@ -158,7 +162,11 @@ class Attack:
         #: set False to force the eager-tape path (e.g. for counting
         #: model calls, or when model weights mutate mid-generate).
         self.use_compiled = True
-        self._exec_cache: Dict[Any, Any] = {}
+        #: compiled-program store; private by default, rebound to a
+        #: shared budgeted cache when the attack is served through a
+        #: :class:`repro.serve.ServeSession`
+        from ..serve.cache import PlanCache
+        self.plan_cache = PlanCache()
 
     # ------------------------------------------------------------------ #
     # subclass surface
@@ -194,9 +202,32 @@ class Attack:
         None when the attack defines no early-success criterion."""
         return None
 
+    def serve_signature(self) -> Optional[Tuple]:
+        """Coalescing identity for the serving layer, or None.
+
+        Two attack instances whose signatures are equal may have their
+        jobs merged into one scheduled pass by
+        :class:`repro.serve.Scheduler`: the signature must therefore
+        capture *everything* the stepping loop reads that is not already
+        per-item (the model objects, the class, ``steps``; ``eps`` /
+        ``alpha`` / ``keep_best`` and declared :attr:`sweep_params` are
+        per-item vectors and never belong here).  The base class returns
+        None — "never merge across instances" — which is always safe.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # compiled-executor plumbing
     # ------------------------------------------------------------------ #
+    @property
+    def _exec_cache(self) -> Dict[Any, Tuple[Any, Any]]:
+        """Introspection view of :attr:`plan_cache`, ``{key: (owner,
+        plan)}`` with single owners unwrapped — the shape the historic
+        per-attack dict had (kept for tests and debugging)."""
+        return {key: (e.owners[0] if len(e.owners) == 1 else e.owners,
+                      e.plan)
+                for key, e in self.plan_cache.items(scope=self)}
+
     def _compiled(self, model, x: np.ndarray):
         """Cached compiled executor for ``model`` (None = eager fallback).
 
@@ -205,19 +236,20 @@ class Attack:
         the address to a different model (e.g. when ``self.model`` is
         rebound between ``generate`` calls), silently replaying a stale
         program.  Pinning the model makes the id stable for the entry's
-        lifetime, and the identity check guards the rebind case.
+        lifetime, and the identity check guards the rebind case (both
+        now enforced by :class:`repro.serve.PlanCache`).
         """
         if not self.use_compiled:
             return None
-        key = (id(model), x.shape[1:])
-        entry = self._exec_cache.get(key)
-        if entry is not None and entry[0] is model:
-            return entry[1]
         # trace/validate on a small slice: replays accept any batch size,
-        # and compile-time validation cost scales with the example batch
-        ex = compile_model(model, x[:_COMPILE_EXAMPLE_ROWS])
-        self._exec_cache[key] = (model, ex)
-        return ex
+        # and compile-time validation cost scales with the example batch.
+        # dtype is part of the key: replays silently cast mismatched
+        # inputs, so a float64 tenant hitting a float32 plan in a shared
+        # cache would silently drop precision
+        return self.plan_cache.get(
+            (id(model), x.shape[1:], x.dtype.str), (model,),
+            lambda: compile_model(model, x[:_COMPILE_EXAMPLE_ROWS]),
+            scope=self)
 
     def _paired_executor(self, models: Tuple, x: np.ndarray):
         """Cached :class:`~repro.attacks.engine.PairedExecutor` over
@@ -226,18 +258,30 @@ class Attack:
         if not self.use_compiled:
             return None
         from .engine import PairedExecutor
-        key = (tuple(id(m) for m in models), x.shape[1:])
-        entry = self._exec_cache.get(key)
-        if entry is not None and all(a is b for a, b in zip(entry[0], models)):
-            return entry[1]
-        pe = PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS])
-        self._exec_cache[key] = (tuple(models), pe)
-        return pe
+        return self.plan_cache.get(
+            (tuple(id(m) for m in models), x.shape[1:], x.dtype.str),
+            tuple(models),
+            lambda: PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS]),
+            scope=self)
+
+    def _plan_owners(self) -> Optional[List]:
+        """The models whose compiled plans this attack replays, used to
+        scope cache refreshes in a shared store.  The base class reads
+        the conventional attribute names; an attack holding its models
+        elsewhere must override (returning None refreshes everything —
+        always safe)."""
+        owners = [m for name in ("model", "original", "adapted")
+                  for m in [getattr(self, name, None)] if m is not None]
+        return owners or None
 
     def _refresh_compiled(self) -> None:
-        for _, ex in self._exec_cache.values():
-            if ex is not None:
-                ex.refresh()
+        """Re-fold constants on the cached plans of *this attack's
+        models* — including plans an equal-signature sibling compiled
+        (shared-cache keys are model/shape-based, so a hit may be on a
+        plan some other instance built after the weights last moved).
+        Owner-scoped: other tenants' plans in a shared session store
+        are untouched."""
+        self.plan_cache.refresh(owners=self._plan_owners())
 
     # ------------------------------------------------------------------ #
     # the loop

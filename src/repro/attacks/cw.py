@@ -68,6 +68,12 @@ class CWLinf(Attack):
         self.model.eval()
         self.kappa = float(kappa)
 
+    def serve_signature(self):
+        """Merge CW jobs on the same model, step count and margin (the
+        kappa hinge shapes every gradient seed, so it must match)."""
+        return (type(self).__qualname__, id(self.model), self.steps,
+                self.kappa)
+
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gradient_with_logits(x_adv, y)[0]
 

@@ -75,6 +75,13 @@ class DIVA(Attack):
         self.original.eval()
         self.adapted.eval()
 
+    def serve_signature(self):
+        """Merge DIVA jobs over the same (original, adapted) pair and
+        step count; ``c`` is a declared sweep param, so it rides the
+        per-item parameter vectors and never blocks coalescing."""
+        return (type(self).__qualname__, id(self.original),
+                id(self.adapted), self.steps)
+
     # -- gradient ------------------------------------------------------- #
     def _paired(self, x: np.ndarray):
         """Cached paired executor over (original, adapted), or None."""
@@ -175,6 +182,12 @@ class TargetedDIVA(DIVA):
                          random_start, keep_best, seed)
         self.target_class = int(target_class)
         self.target_weight = float(target_weight)
+
+    def serve_signature(self):
+        """Targeted jobs additionally pin the target class/weight (both
+        read by the gradient seed, neither expressible per item)."""
+        return super().serve_signature() + (self.target_class,
+                                            self.target_weight)
 
     def _seed_vectors(self, p: np.ndarray, n: int, y: np.ndarray,
                       c) -> np.ndarray:

@@ -43,6 +43,11 @@ class PGD(Attack):
         self.model = model
         self.model.eval()
 
+    def serve_signature(self):
+        """Merge PGD jobs targeting the same model with the same step
+        count (eps/alpha/keep_best are per-item in the scheduler)."""
+        return (type(self).__qualname__, id(self.model), self.steps)
+
     def gradient(self, x_adv: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gradient_with_logits(x_adv, y)[0]
 

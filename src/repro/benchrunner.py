@@ -1,11 +1,17 @@
 """Machine-readable perf trajectory: run the kernel benches, write
 ``BENCH_<sha>.json``.
 
-Each entry records median ns per kernel plus attack stepping throughput
-(steps/sec) so successive PRs can be compared mechanically::
+Each entry records median ns per kernel plus end-to-end throughput
+sections (attack stepping, compiled replay, sweeps, train steps,
+distill epochs, edge inference, served mixed workloads) so successive
+PRs can be compared mechanically::
 
     make bench                    # or: repro-bench / python benchmarks/run_bench.py
     cat BENCH_ab12cd3.json
+
+``docs/BENCHMARKS.md`` documents the full schema, the two measurement
+protocols (subprocess-isolated vs in-process arms) and how to compare
+entries across PRs honestly (absolute medians, not just ratios).
 
 Only the self-contained benches run by default (the pipeline-backed
 edge-engine benches train paper-scale models on first use; pass
@@ -27,7 +33,8 @@ from typing import Optional
 #: benches that need no trained pipeline; keep in sync with bench_kernels.py
 FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
                      "or eager_forward or attack_step or attack_sweep "
-                     "or train_step or distill_epoch or edge_infer")
+                     "or train_step or distill_epoch or edge_infer "
+                     "or serve_throughput")
 
 
 def repo_root() -> Path:
@@ -81,6 +88,7 @@ def summarize(raw: dict, sha: str) -> dict:
     train = {}
     distill = {}
     edge = {}
+    serve = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
         if "[" in bench["name"]:        # parametrized: keep the variant tag
@@ -115,6 +123,16 @@ def summarize(raw: dict, sha: str) -> dict:
                 "speedup": extra["distill_epoch_speedup"],
                 "images": extra["images"],
             }
+        if "serve_throughput_speedup" in extra:
+            serve = {
+                "jobs": extra["serve_jobs"],
+                "rows": extra["serve_rows"],
+                "sequential_ms": extra["serve_sequential_ms"],
+                "serve_ms": extra["serve_ms"],
+                "speedup": extra["serve_throughput_speedup"],
+                "dispatches": extra["serve_dispatches"],
+                "coalesced_dispatches": extra["serve_coalesced"],
+            }
         if "edge_infer_speedup" in extra:
             edge = {
                 "model": extra["model"],
@@ -142,6 +160,7 @@ def summarize(raw: dict, sha: str) -> dict:
         "train_step": train,
         "distill_epoch": distill,
         "edge_infer": edge,
+        "serve_throughput": serve,
     }
 
 
@@ -190,6 +209,11 @@ def main(argv: Optional[list] = None) -> int:
         print(f"  edge inference ({e['model']} int8, batch {e['batch']}) "
               f"{e['speedup']:.2f}x compiled vs eager "
               f"({e['eager_ms']:.1f} -> {e['compiled_ms']:.1f} ms)")
+    if summary["serve_throughput"]:
+        s = summary["serve_throughput"]
+        print(f"  serve throughput ({s['jobs']} mixed jobs, {s['rows']} "
+              f"rows) {s['speedup']:.2f}x coalesced vs sequential "
+              f"({s['sequential_ms']:.1f} -> {s['serve_ms']:.1f} ms)")
     return 0
 
 

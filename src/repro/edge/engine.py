@@ -244,15 +244,30 @@ class EdgeModel:
     or validation failure warns and pins the eager loop for that shape.
     """
 
-    def __init__(self, ops: Sequence[EdgeOp], num_classes: int):
+    def __init__(self, ops: Sequence[EdgeOp], num_classes: int,
+                 plan_cache=None):
         self.ops = list(ops)
         self.num_classes = num_classes
         self.training = False
-        self._programs: Dict[tuple, object] = {}
+        #: compiled per-shape program store; private by default, rebound
+        #: to a shared budgeted :class:`repro.serve.PlanCache` when the
+        #: model is served through a ``ServeSession``
+        if plan_cache is None:
+            from ..serve.cache import PlanCache
+            plan_cache = PlanCache()
+        self.plan_cache = plan_cache
         self._pool = None
 
     def eval(self) -> "EdgeModel":
         return self
+
+    @property
+    def _programs(self) -> Dict[tuple, object]:
+        """Introspection view of this model's cached plans, keyed by
+        ``(shape, dtype.str)`` — the shape the historic per-model dict
+        had (kept for tests and debugging)."""
+        return {key[2:]: entry.plan
+                for key, entry in self.plan_cache.items(scope=self)}
 
     def _eager_forward(self, q: np.ndarray) -> np.ndarray:
         """The reference per-op loop (also the compiled path's oracle)."""
@@ -260,30 +275,36 @@ class EdgeModel:
             q = op(q)
         return np.asarray(q)
 
+    def _build_program(self, q: np.ndarray):
+        """One compile + eager-validation attempt; None pins the eager
+        loop for this shape (loud, once)."""
+        from ..nn.graph import ScratchPool
+        from .program import EdgeProgram
+        if self._pool is None:
+            self._pool = ScratchPool()
+        try:
+            return EdgeProgram(self, q, pool=self._pool)
+        except Exception as exc:       # lowering/validation failure -> eager
+            warnings.warn(
+                f"edge program lowering failed for input {q.shape} "
+                f"{q.dtype}: {exc}; running the eager integer op loop",
+                RuntimeWarning, stacklevel=5)
+            return None
+
     def _program_for(self, q: np.ndarray):
         """Cached per-shape program, or None when this shape fell back.
 
-        The cache never evicts and each new (shape, dtype) pays one
-        compile + eager-validation pass, which only amortizes on
-        repeated shapes — callers scoring many distinct batch sizes
-        should bucket them (as ``predict`` batching does) or pass
-        ``compiled=False``.
+        Each new (shape, dtype) pays one compile + eager-validation
+        pass, which only amortizes on repeated shapes — callers scoring
+        many distinct batch sizes should bucket them (as ``predict``
+        batching does) or pass ``compiled=False``.  Under a budgeted
+        cache, cold shapes age out LRU and rebuild (re-validating) on
+        their next use.
         """
-        key = (q.shape, q.dtype.str)
-        if key not in self._programs:
-            from ..nn.graph import ScratchPool
-            from .program import EdgeProgram
-            if self._pool is None:
-                self._pool = ScratchPool()
-            try:
-                self._programs[key] = EdgeProgram(self, q, pool=self._pool)
-            except Exception as exc:   # lowering/validation failure -> eager
-                warnings.warn(
-                    f"edge program lowering failed for input {q.shape} "
-                    f"{q.dtype}: {exc}; running the eager integer op loop",
-                    RuntimeWarning, stacklevel=3)
-                self._programs[key] = None
-        return self._programs[key]
+        key = ("edge", id(self), q.shape, q.dtype.str)
+        return self.plan_cache.get(key, (self,),
+                                   lambda: self._build_program(q),
+                                   scope=self)
 
     def predict(self, x: np.ndarray, batch_size: int = 256,
                 compiled: bool = True) -> np.ndarray:

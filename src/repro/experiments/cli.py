@@ -5,6 +5,9 @@ Usage::
     repro-exp table1                 # Table 1 at paper-scale config
     repro-exp fig6 --smoke           # Fig 6 at the tiny test scale
     repro-exp all                    # the full grid (minutes on CPU)
+    repro-exp serve --smoke          # replay a recorded mixed workload
+                                     # through the serving layer and
+                                     # verify bit-parity vs sequential
 """
 
 from __future__ import annotations
@@ -47,19 +50,51 @@ def _registry() -> Dict[str, Callable]:
     }
 
 
+def _run_serve(args) -> int:
+    """Replay a recorded mixed workload sequentially and through a
+    :class:`~repro.serve.ServeSession`, assert bit-parity, and print
+    the aggregate throughput comparison."""
+    from ..serve import (build_workload, load_workload, mixed_workload_spec,
+                         verify_parity)
+    spec = (load_workload(args.workload) if args.workload
+            else mixed_workload_spec(scale=1 if args.smoke else 2,
+                                     seed=args.seed))
+    print(f"=== serve: workload {spec['name']} "
+          f"({len(spec['jobs'])} jobs) ===")
+    t0 = time.time()
+    out = verify_parity(build_workload(spec), capacity=args.capacity)
+    print(f"  parity OK: every job bit-identical to its solo run")
+    print(f"  sequential {out['sequential_s'] * 1e3:8.1f} ms  "
+          f"({out['rows']} rows, {out['jobs']} jobs)")
+    print(f"  served     {out['serve_s'] * 1e3:8.1f} ms  "
+          f"({out['dispatches']} dispatches, "
+          f"{out['coalesced_dispatches']} coalesced)")
+    print(f"  aggregate throughput {out['throughput_ratio']:.2f}x; "
+          f"plan cache {out['plan_cache']['hits']} hits / "
+          f"{out['plan_cache']['misses']} misses")
+    print(f"[serve done in {time.time() - t0:.1f}s]")
+    return 0
+
+
 def main(argv=None) -> int:
     registry = _registry()
     parser = argparse.ArgumentParser(
         prog="repro-exp",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(registry) + ["all", "report"],
-                        help="which table/figure to regenerate, or "
-                             "'report' to rebuild EXPERIMENTS.md from "
-                             "existing results")
+                        choices=sorted(registry) + ["all", "report", "serve"],
+                        help="which table/figure to regenerate, 'report' "
+                             "to rebuild EXPERIMENTS.md from existing "
+                             "results, or 'serve' to replay a recorded "
+                             "mixed workload through the serving layer")
     parser.add_argument("--smoke", action="store_true",
                         help="run at the tiny test scale (fast, inaccurate)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workload", default=None, metavar="PATH",
+                        help="serve: JSON workload spec to replay "
+                             "(default: the built-in mixed workload)")
+    parser.add_argument("--capacity", type=int, default=64,
+                        help="serve: scheduler slot capacity")
     args = parser.parse_args(argv)
 
     set_default_dtype("float32")
@@ -67,6 +102,8 @@ def main(argv=None) -> int:
         from .report import write_report
         print(f"wrote {write_report()}")
         return 0
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     base = (ExperimentConfig.smoke() if args.smoke
             else ExperimentConfig.paper_scale())

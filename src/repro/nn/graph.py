@@ -108,6 +108,45 @@ def compile_forward_or_none(module, example, pool: Optional[ScratchPool] = None)
         return None
 
 
+#: process-wide default plan store for :func:`compile_forward_cached`;
+#: budgeted so long-lived evaluation processes cannot accumulate
+#: unbounded per-(model, shape, dtype) programs
+_DEFAULT_CACHE_BUDGET = 256 << 20
+_default_plan_cache = None
+
+
+def default_plan_cache():
+    """The process-wide :class:`repro.serve.PlanCache` (lazily built)."""
+    global _default_plan_cache
+    if _default_plan_cache is None:
+        from ..serve.cache import PlanCache
+        _default_plan_cache = PlanCache(budget_bytes=_DEFAULT_CACHE_BUDGET)
+    return _default_plan_cache
+
+
+def compile_forward_cached(module, example, cache=None):
+    """Best-effort compiled forward, memoized per (module, shape, dtype).
+
+    The caching discipline matches ``Attack``'s executor cache: entries
+    pin the module they were compiled from (identity-checked, so a
+    recycled ``id()`` can never alias a dead module's program) and a
+    cache hit is :meth:`CompiledForward.refresh`-ed before being
+    returned, re-folding constants in case parameters were mutated since
+    compilation — a refreshed replay equals a fresh compile bit for bit.
+    Failures are pinned as None (eager fallback), also per the shared
+    contract.  ``cache`` defaults to the process-wide budgeted store.
+    """
+    cache = cache if cache is not None else default_plan_cache()
+    example = np.asarray(example)
+    key = ("nn-forward", id(module), example.shape[1:], example.dtype.str)
+    hit_before = key in cache
+    plan = cache.get(key, (module,),
+                     lambda: compile_forward_or_none(module, example))
+    if plan is not None and hit_before:
+        plan.refresh()
+    return plan
+
+
 class _Op:
     """One recorded primitive op: ``out = kind(*inputs, **attrs)``."""
 

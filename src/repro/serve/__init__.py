@@ -1,0 +1,38 @@
+"""Attack-serving layer: shared plan caches, request coalescing, futures.
+
+The paper's threat model is multi-tenant by construction — many users
+query one deployed edge artifact while attackers probe the (original,
+adapted) pair — and the ROADMAP's north star asks for heavy-traffic
+serving on top of the four compiled-executor legs.  This package is
+that layer:
+
+- :class:`PlanCache` (:mod:`repro.serve.cache`) — one budgeted LRU
+  store for every compiled plan (forward replays, paired attack
+  programs, integer edge programs), replacing the per-attack and
+  per-edge-model ad-hoc dicts;
+- :class:`Scheduler` (:mod:`repro.serve.scheduler`) — arrival-order
+  dispatch that coalesces compatible requests (same serve signature,
+  same shape/dtype) into single scheduled passes, starvation-free by
+  construction;
+- :class:`ServeSession` (:mod:`repro.serve.session`) — the front end:
+  submit heterogeneous jobs, get per-job futures, results bit-identical
+  to running each job alone;
+- :mod:`repro.serve.workload` — recorded mixed workloads, replayable
+  sequentially or through a session (``repro-exp serve``), with parity
+  verification and the ``serve_throughput`` bench protocol.
+"""
+
+from .cache import PlanCache, plan_nbytes
+from .scheduler import DispatchRecord, Job, JobError, JobFuture, Scheduler
+from .session import ServeSession
+from .workload import (Workload, build_workload, load_workload,
+                       mixed_workload_spec, replay_sequential, replay_serve,
+                       save_workload, verify_parity)
+
+__all__ = [
+    "PlanCache", "plan_nbytes",
+    "DispatchRecord", "Job", "JobError", "JobFuture", "Scheduler",
+    "ServeSession",
+    "Workload", "build_workload", "load_workload", "mixed_workload_spec",
+    "replay_sequential", "replay_serve", "save_workload", "verify_parity",
+]

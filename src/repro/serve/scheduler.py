@@ -1,0 +1,290 @@
+"""Request-coalescing scheduler: many jobs, one compiled pass at a time.
+
+The multi-tenant serving problem: heterogeneous requests arrive over
+time — DIVA/PGD/CW/FGSM attack jobs against a deployed (original,
+adapted) pair, NES query streams, plain :meth:`EdgeModel.predict
+<repro.edge.engine.EdgeModel.predict>` scoring — and most of them want
+the *same* compiled resources.  Running each request alone wastes the
+two things the compiled legs made cheap: program compilation (paid per
+attack instance today) and pass occupancy (a 4-row request steps 4-row
+gradient batches through machinery that is just as happy with 64).
+
+:class:`Scheduler` fixes both without touching results:
+
+- **compatibility keys** — every job maps to a group key.  Attack jobs
+  coalesce when their attacks report equal
+  :meth:`~repro.attacks.base.Attack.serve_signature` (same class, same
+  model objects, same step count, same non-per-item parameters) over
+  the same input shape/dtype; per-item parameters (``eps``, ``alpha``,
+  ``keep_best`` and the attack's declared sweep params such as DIVA's
+  ``c``) never block coalescing because
+  :func:`~repro.attacks.engine.run_scheduled` already takes them as
+  per-row vectors.  Edge-inference jobs coalesce per
+  :class:`~repro.edge.engine.EdgeModel`.  Everything else (NES and
+  momentum attacks with full-batch RNG/velocity state, attacks with no
+  signature) runs solo.
+- **arrival-order dispatch (no starvation)** — the dispatch loop always
+  takes the *oldest pending job* as the head of the next batch and then
+  folds in every other pending compatible job up to ``max_batch_rows``.
+  Group membership is frozen at dispatch, so a stream of compatible
+  arrivals can never push an incompatible job back: job *i* is
+  dispatched no later than the *i*-th round (asserted by the fairness
+  tests).
+- **value-neutral merging** — a merged attack batch is exactly the
+  tiling :meth:`Attack.generate_sweep` already performs (per-row
+  parameter vectors into one ``run_scheduled`` call, each job's own
+  ``_init`` for its rows), and per-sample trajectories depend only on
+  that sample's own gradients; merged edge batches ride the integer
+  path, which is exact per row.  Both are bit-identical to running each
+  job alone — the scheduler may only change wall-time, never bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..attacks.engine import run_scheduled
+
+
+class JobError(RuntimeError):
+    """Raised by :meth:`JobFuture.result` when the job's run failed."""
+
+
+class JobFuture:
+    """Handle to one submitted job's eventual result.
+
+    ``result()`` drives the owning session until this job resolves (the
+    scheduler is single-threaded and synchronous — there is no waiting,
+    only work).  A failed job re-raises as :class:`JobError` with the
+    original exception chained.
+    """
+
+    def __init__(self, drain: Callable[[], None]):
+        self._drain = drain
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+    def result(self) -> Any:
+        if not self._done:
+            self._drain()
+        if not self._done:        # pragma: no cover - defensive
+            raise JobError("job did not resolve after a full drain")
+        if self._error is not None:
+            raise JobError(str(self._error)) from self._error
+        return self._value
+
+
+@dataclass
+class Job:
+    """One queued request (attack or inference) plus its future."""
+
+    kind: str                       # "attack" | "predict"
+    seq: int
+    x: np.ndarray
+    future: JobFuture
+    y: Optional[np.ndarray] = None
+    attack: Optional[Attack] = None
+    model: Any = None               # EdgeModel for "predict" jobs
+
+    @property
+    def rows(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class DispatchRecord:
+    """One scheduling decision, kept for fairness tests and stats."""
+
+    key: Any
+    seqs: Tuple[int, ...]
+    rows: int
+    coalesced: bool = field(init=False)
+
+    def __post_init__(self):
+        self.coalesced = len(self.seqs) > 1
+
+
+def _group_key(job: Job):
+    """Compatibility key; a unique key (by ``seq``) means "runs solo"."""
+    if job.kind == "predict":
+        return ("predict", id(job.model), job.x.shape[1:], job.x.dtype.str)
+    atk = job.attack
+    sig = atk.serve_signature()
+    if sig is None or not atk.shrink_done:
+        return ("solo", job.seq)
+    return ("attack", sig, job.x.shape[1:], job.x.dtype.str)
+
+
+class Scheduler:
+    """Arrival-order batching of compatible jobs onto shared programs.
+
+    Parameters
+    ----------
+    capacity:
+        Active-slot count handed to
+        :func:`~repro.attacks.engine.run_scheduled` and the chunk size
+        for merged edge-inference batches.
+    max_batch_rows:
+        Ceiling on the summed rows of one coalesced dispatch; pending
+        compatible jobs beyond it wait for the next round (they keep
+        their arrival-order priority).
+    predict_batch:
+        Chunk size for merged edge-inference batches (the per-shape
+        program cache amortizes best over one fixed chunk shape).
+    """
+
+    def __init__(self, capacity: int = 64, max_batch_rows: int = 512,
+                 predict_batch: int = 256):
+        if capacity < 1 or max_batch_rows < 1 or predict_batch < 1:
+            raise ValueError("capacity, max_batch_rows and predict_batch "
+                             "must be >= 1")
+        self.capacity = int(capacity)
+        self.max_batch_rows = int(max_batch_rows)
+        self.predict_batch = int(predict_batch)
+        self.pending: "deque[Job]" = deque()
+        self.dispatch_log: List[DispatchRecord] = []
+        self._seq = 0
+
+    # -- queueing ------------------------------------------------------- #
+    def enqueue(self, job: Job) -> Job:
+        job.seq = self._seq
+        self._seq += 1
+        self.pending.append(job)
+        return job
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    # -- dispatch ------------------------------------------------------- #
+    def run_pending(self) -> int:
+        """Serve the queue to empty; returns the number of dispatches.
+
+        Membership of each batch is decided when its head job (always
+        the oldest pending) is popped — jobs enqueued mid-run join the
+        tail and cannot delay anything already queued.
+        """
+        rounds = 0
+        while self.pending:
+            head = self.pending.popleft()
+            key = _group_key(head)
+            group = [head]
+            rows = head.rows
+            if key[0] != "solo":
+                kept: List[Job] = []
+                for job in self.pending:
+                    if (_group_key(job) == key
+                            and rows + job.rows <= self.max_batch_rows):
+                        group.append(job)
+                        rows += job.rows
+                    else:
+                        kept.append(job)
+                self.pending = deque(kept)
+            self.dispatch_log.append(
+                DispatchRecord(key, tuple(j.seq for j in group), rows))
+            self._run_group(head.kind, group)
+            rounds += 1
+        return rounds
+
+    def _run_group(self, kind: str, group: List[Job]) -> None:
+        """Dispatch with blast-radius control: if a *coalesced* batch
+        fails (one tenant's malformed rows, say), every member is
+        retried solo so innocent jobs still complete and only the
+        faulty one carries the error."""
+        dispatch = (self._dispatch_predict if kind == "predict"
+                    else self._dispatch_attack)
+        try:
+            dispatch(group)
+        except Exception as exc:         # noqa: BLE001 - job isolation
+            if len(group) == 1:
+                group[0].future._fail(exc)
+                return
+            for job in group:
+                try:
+                    dispatch([job])
+                except Exception as solo_exc:   # noqa: BLE001
+                    job.future._fail(solo_exc)
+
+    # -- attack batches -------------------------------------------------- #
+    def _dispatch_attack(self, group: List[Job]) -> None:
+        """One scheduled pass over the merged rows of ``group``.
+
+        Mirrors :meth:`Attack.generate_sweep`'s tiling exactly, with one
+        "variant" per job: per-row ``eps``/``alpha``/``keep_best`` (and
+        sweep-parameter) vectors taken from each job's own attack, each
+        job's rows initialized by its own attack's ``_init`` (so
+        ``random_start`` streams match a solo run), and the group head's
+        attack driving the gradient passes.  Per-sample trajectories are
+        independent, so every job's slice is bit-identical to
+        ``job.attack.generate(job.x, job.y)`` run alone.
+        """
+        rep = group[0].attack
+        if len(group) == 1 and not rep.shrink_done:
+            # full-batch gradient state (momentum, NES noise): the slot
+            # scheduler cannot host it, and the batch partition is part
+            # of the result (per-batch RNG/velocity state), so the job
+            # must run with generate's own default batching — exactly
+            # what `attack.generate(x, y)` alone would do
+            job = group[0]
+            job.future._resolve(rep.generate(job.x, job.y))
+            return
+        rep._refresh_compiled()
+        xs = np.concatenate([j.x for j in group], axis=0)
+        ys = np.concatenate([np.asarray(j.y) for j in group])
+        dtype = xs.dtype
+        eps = np.concatenate([
+            np.full(j.rows, j.attack.eps, dtype=dtype) for j in group])
+        alpha = np.concatenate([
+            np.full(j.rows, j.attack.alpha, dtype=dtype) for j in group])
+        check = np.concatenate([
+            np.full(j.rows, j.attack.keep_best, dtype=bool) for j in group])
+        params: Optional[Dict[str, np.ndarray]] = None
+        if len(group) > 1 and rep.sweep_params:
+            params = {key: np.concatenate([
+                np.full(j.rows, float(getattr(j.attack, key)),
+                        dtype=np.float64) for j in group])
+                for key in sorted(rep.sweep_params)}
+        adv0 = np.concatenate([j.attack._init(j.x) for j in group], axis=0)
+        adv = run_scheduled(rep, xs, ys, adv0, eps, alpha, check, params,
+                            capacity=self.capacity)
+        start = 0
+        for job in group:
+            job.future._resolve(adv[start:start + job.rows].copy())
+            start += job.rows
+
+    # -- inference batches ----------------------------------------------- #
+    def _dispatch_predict(self, group: List[Job]) -> None:
+        """Merged rows through one shared per-shape edge program.
+
+        The integer path is exact per row (float64 GEMMs on sub-2**53
+        integers, elementwise requantization), so chunking the merged
+        batch differently from each solo ``predict`` call cannot change
+        a single bit of any job's logits.
+        """
+        model = group[0].model
+        xs = np.concatenate([j.x for j in group], axis=0)
+        out = model.predict(xs, batch_size=self.predict_batch)
+        start = 0
+        for job in group:
+            # copy: a view would alias every tenant's result to one
+            # merged buffer (and pin all of it for as long as any
+            # caller keeps its small slice)
+            job.future._resolve(out[start:start + job.rows].copy())
+            start += job.rows

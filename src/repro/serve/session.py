@@ -1,0 +1,158 @@
+"""ServeSession — the attack-serving layer's front door.
+
+One session owns the three shared resources of the serving story: a
+single budgeted :class:`~repro.serve.cache.PlanCache` (every submitted
+attack and edge model is rebound to it, so compiled programs are shared
+across requests and bounded in memory), one
+:class:`~repro.serve.scheduler.Scheduler` (arrival-order dispatch with
+compatible-request coalescing), and the futures that hand each caller
+its own result back out of a merged pass.
+
+Usage::
+
+    session = ServeSession(capacity=64)
+    f1 = session.submit_attack(diva_a, x_a, y_a)     # user A's probe
+    f2 = session.submit_attack(diva_b, x_b, y_b)     # user B, same pair
+    f3 = session.submit_predict(edge_model, pixels)  # plain inference
+    adv_a = f1.result()          # drives the scheduler; bit-identical
+    adv_b = f2.result()          # to diva_b.generate(x_b, y_b) alone
+
+``result()`` on any future drains the whole queue (single-threaded,
+synchronous); ``drain()`` does so explicitly.  Everything the scheduler
+does is value-neutral — see :mod:`repro.serve.scheduler` for the
+coalescing rules and the bit-identity argument — so the session's only
+observable effects are wall-time and cache warmth.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..attacks.base import Attack
+from .cache import PlanCache
+from .scheduler import DispatchRecord, Job, JobFuture, Scheduler
+
+#: default shared-cache budget: generous for the bench/serve models in
+#: this repo while still exercising eviction under adversarial churn
+DEFAULT_BUDGET_BYTES = 512 << 20
+
+
+class ServeSession:
+    """Accept heterogeneous jobs, serve them over shared compiled state.
+
+    Parameters
+    ----------
+    capacity:
+        Slot capacity per scheduled attack pass (and the work-stealing
+        width), as in ``Attack.generate``'s ``batch_size``.
+    plan_cache:
+        Shared compiled-program store; a budgeted one is built when not
+        given.  Submitted attacks and edge models are rebound to it on
+        first submit, so all requests draw from (and fill) one cache.
+    max_batch_rows / predict_batch:
+        Scheduler coalescing bounds (see
+        :class:`~repro.serve.scheduler.Scheduler`).
+    """
+
+    def __init__(self, capacity: int = 64,
+                 plan_cache: Optional[PlanCache] = None,
+                 max_batch_rows: int = 512, predict_batch: int = 256,
+                 budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES):
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache(budget_bytes=budget_bytes))
+        self.scheduler = Scheduler(capacity=capacity,
+                                   max_batch_rows=max_batch_rows,
+                                   predict_batch=predict_batch)
+
+    # -- submission ------------------------------------------------------ #
+    def _adopt(self, obj: Any) -> None:
+        """Point ``obj`` (attack or edge model) at the shared cache.
+
+        Idempotent by identity check — no bookkeeping of seen objects
+        (a raw ``id()`` registry would mistake a recycled address for
+        an already-adopted object).  Programs compiled into a private
+        cache before adoption are dropped with it — they recompile into
+        the shared store on first use, after which every compatible
+        request hits.
+        """
+        if getattr(obj, "plan_cache", None) is not self.plan_cache:
+            obj.plan_cache = self.plan_cache
+
+    def submit_attack(self, attack: Attack, x: np.ndarray,
+                      y: np.ndarray) -> JobFuture:
+        """Queue one attack job (DIVA/PGD/CW/NES/...; any ``Attack``).
+
+        The result future resolves to exactly what
+        ``attack.generate(x, y)`` would return — coalescing with other
+        compatible jobs changes scheduling, never bytes.
+        """
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) == 0:
+            raise ValueError("attack job needs at least one row")
+        if len(y) != len(x):
+            raise ValueError(f"labels have {len(y)} rows for {len(x)} "
+                             "inputs — rejected at submit so one bad "
+                             "request cannot poison a coalesced batch")
+        self._adopt(attack)
+        future = JobFuture(self.drain)
+        self.scheduler.enqueue(Job(kind="attack", seq=-1, x=x, future=future,
+                                   y=y, attack=attack))
+        return future
+
+    def submit_predict(self, model, x: np.ndarray) -> JobFuture:
+        """Queue one plain :meth:`EdgeModel.predict` inference job."""
+        x = np.asarray(x)
+        if len(x) == 0:
+            raise ValueError("predict job needs at least one row")
+        self._adopt(model)
+        future = JobFuture(self.drain)
+        self.scheduler.enqueue(Job(kind="predict", seq=-1, x=x, future=future,
+                                   model=model))
+        return future
+
+    # -- execution ------------------------------------------------------- #
+    def drain(self) -> int:
+        """Serve every pending job; returns the number of dispatches.
+
+        A completed drain ends with a cycle collection: compiled
+        programs are self-referential (their op closures capture the
+        program), so retired plans are *only* reclaimable by the cyclic
+        GC — and the compiled replay path allocates so few Python
+        objects (by design) that the generational thresholds may not
+        trip for many bursts, accumulating dead programs' buffers.  One
+        explicit collect (~15 ms) per drained burst bounds that;
+        long-lived experiment processes never noticed because their
+        programs live for the whole run.
+        """
+        if not self.scheduler.pending:
+            return 0
+        rounds = self.scheduler.run_pending()
+        gc.collect()
+        return rounds
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+
+    # -- introspection --------------------------------------------------- #
+    @property
+    def dispatch_log(self) -> List[DispatchRecord]:
+        return self.scheduler.dispatch_log
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        log = self.scheduler.dispatch_log
+        return {
+            "dispatches": len(log),
+            "jobs_served": sum(len(r.seqs) for r in log),
+            "rows_served": sum(r.rows for r in log),
+            "coalesced_dispatches": sum(1 for r in log if r.coalesced),
+            "plan_cache": self.plan_cache.stats,
+        }

@@ -1,0 +1,308 @@
+"""Recorded mixed workloads: build, save, replay — serve vs sequential.
+
+The acceptance story for the serving layer is a *recorded* stream of
+heterogeneous requests (attack jobs and plain inference jobs, arrival
+order interleaved) that can be replayed two ways and compared:
+
+- ``sequential`` — each job alone, in arrival order, exactly as the
+  pre-serve codebase would have handled requests (every attack instance
+  compiles its own programs; every predict call batches only its own
+  rows);
+- ``serve`` — all jobs through one :class:`~repro.serve.session.
+  ServeSession`, sharing a plan cache and coalescing compatible jobs.
+
+Per-job results must match bit for bit between the two replays
+(:func:`verify_parity` asserts it); the throughput ratio is the
+``serve_throughput`` entry of the BENCH trajectory.
+
+A workload *spec* is a small JSON-serializable dict — seeds, model
+hyper-parameters, and one record per job — so a workload can be
+committed, shipped to the bench's subprocess-isolated arms, or replayed
+by the ``repro-exp serve`` CLI subcommand.  Materialization
+(:func:`build_workload`) deterministically reconstructs models, data and
+attack instances from the spec; it never stores arrays.
+
+Job kinds and their materialization:
+
+===========  ==========================================================
+``diva``     :class:`~repro.attacks.diva.DIVA` on the workload's
+             (original, adapted) resnet pair; ``c``/``eps``/``alpha``
+             per job.
+``pgd``      :class:`~repro.attacks.pgd.PGD` on the adapted model.
+``cw``       :class:`~repro.attacks.cw.CWLinf` on the adapted model.
+``fgsm``     FGSM expressed as its exact PGD special case —
+             ``steps=1, alpha=eps, keep_best=False`` reproduces
+             :func:`repro.attacks.fgsm.fgsm` step for step — so
+             single-step jobs ride the same scheduler.
+``nes``      :class:`~repro.attacks.nes.NESDiva` semi-blackbox query
+             stream (full-batch RNG state: never coalesced, served
+             solo in arrival order).
+``predict``  plain :meth:`EdgeModel.predict
+             <repro.edge.engine.EdgeModel.predict>` on the workload's
+             int8 edge artifact.
+===========  ==========================================================
+
+Doctest — specs are plain data and round-trip through JSON::
+
+    >>> spec = mixed_workload_spec(scale=1)
+    >>> import json
+    >>> spec == json.loads(json.dumps(spec))
+    True
+    >>> sorted({j["kind"] for j in spec["jobs"]})
+    ['cw', 'diva', 'fgsm', 'nes', 'pgd', 'predict']
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .session import ServeSession
+
+#: spec format version, bumped on incompatible schema changes
+SPEC_VERSION = 1
+
+
+def mixed_workload_spec(scale: int = 2, seed: int = 0) -> Dict[str, Any]:
+    """The default recorded workload: interleaved attack + inference.
+
+    ``scale`` multiplies the request count (not the per-job size), so
+    occupancy stays "mixed": many small attack probes (4-8 rows each,
+    the shape of real per-user requests) plus moderate inference
+    batches.  Arrival order interleaves kinds and parameters so
+    coalescing has to work across gaps, not just on adjacent twins.
+    """
+    jobs: List[Dict[str, Any]] = []
+    eps_grid = [8 / 255, 16 / 255, 12 / 255]
+    c_grid = [1.0, 0.5, 2.0]
+    for i in range(scale):
+        e = eps_grid[i % len(eps_grid)]
+        jobs += [
+            {"kind": "diva", "rows": 6, "c": c_grid[i % 3], "eps": e},
+            {"kind": "predict", "rows": 24},
+            {"kind": "pgd", "rows": 6, "eps": e},
+            {"kind": "diva", "rows": 4, "c": c_grid[(i + 1) % 3]},
+            {"kind": "fgsm", "rows": 8, "eps": e},
+            {"kind": "predict", "rows": 16},
+            {"kind": "cw", "rows": 4, "kappa": 0.0},
+            {"kind": "diva", "rows": 6, "eps": eps_grid[(i + 2) % 3]},
+            {"kind": "nes", "rows": 2, "steps": 3, "n_samples": 2},
+            {"kind": "pgd", "rows": 4, "alpha": 2 / 255},
+            {"kind": "predict", "rows": 24},
+            {"kind": "cw", "rows": 4, "kappa": 0.0},
+        ]
+    return {
+        "version": SPEC_VERSION,
+        "name": f"mixed-x{scale}",
+        "seed": seed,
+        "steps": 10,
+        "attack_model": {"arch": "resnet", "num_classes": 10, "width": 8,
+                         "image_size": 16},
+        "edge_model": {"arch": "lenet", "num_classes": 10, "width": 8,
+                       "image_size": 16, "in_channels": 1},
+        "jobs": jobs,
+    }
+
+
+def save_workload(spec: Dict[str, Any], path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(spec, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_workload(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        spec = json.load(fh)
+    if spec.get("version") != SPEC_VERSION:
+        raise ValueError(f"unsupported workload spec version "
+                         f"{spec.get('version')!r} (expected {SPEC_VERSION})")
+    return spec
+
+
+@dataclass
+class MaterializedJob:
+    """One replayable request: inputs plus a factory for its attack."""
+
+    kind: str
+    x: np.ndarray
+    y: Optional[np.ndarray]
+    make_attack: Optional[Any]      # zero-arg factory, None for predict
+    model: Any = None               # EdgeModel for predict jobs
+
+
+@dataclass
+class Workload:
+    """Materialized spec: fixed server-side models + the request list."""
+
+    spec: Dict[str, Any]
+    original: Any
+    adapted: Any
+    edge: Any
+    jobs: List[MaterializedJob]
+
+    @property
+    def rows(self) -> int:
+        return sum(len(j.x) for j in self.jobs)
+
+
+def build_workload(spec: Dict[str, Any]) -> Workload:
+    """Deterministically materialize models, data and jobs from a spec.
+
+    The server-side state mirrors the bench fixtures: an untrained
+    (seeded) original model, its calibrated+frozen 8-bit QAT adaptation
+    as the attack target pair, and a separately quantized feed-forward
+    model compiled to the int8 edge artifact for inference jobs.
+    Attack-job labels are the original model's own predictions, so
+    every probe starts un-succeeded (no random-label degeneracy).
+    """
+    from ..attacks import CWLinf, DIVA, NESDiva, PGD
+    from ..edge import compile_edge
+    from ..models import build_model
+    from ..quantization import calibrate, prepare_qat
+    from ..training import predict_labels
+
+    rng = np.random.default_rng(spec["seed"])
+    am = spec["attack_model"]
+    em = spec["edge_model"]
+    steps = int(spec.get("steps", 10))
+
+    original = build_model(am["arch"], num_classes=am["num_classes"],
+                           width=am["width"], seed=spec["seed"])
+    original.eval()
+    calib = rng.random((16, 3, am["image_size"], am["image_size"]),
+                       ).astype(np.float32)
+    adapted = prepare_qat(original, weight_bits=8)
+    calibrate(adapted, calib)
+    adapted.freeze()
+    adapted.eval()
+
+    edge_f = build_model(em["arch"], num_classes=em["num_classes"],
+                         width=em["width"], image_size=em["image_size"],
+                         in_channels=em.get("in_channels", 1),
+                         seed=spec["seed"] + 1)
+    edge_f.eval()
+    edge_calib = rng.random(
+        (16, em.get("in_channels", 1), em["image_size"], em["image_size"]),
+    ).astype(np.float32)
+    edge_q = prepare_qat(edge_f, weight_bits=8, act_bits=8, per_channel=True)
+    calibrate(edge_q, edge_calib)
+    edge_q.freeze()
+    edge = compile_edge(edge_q, em["num_classes"])
+
+    jobs: List[MaterializedJob] = []
+    for i, rec in enumerate(spec["jobs"]):
+        kind = rec["kind"]
+        rows = int(rec["rows"])
+        if kind == "predict":
+            x = rng.random((rows, em.get("in_channels", 1),
+                            em["image_size"], em["image_size"]),
+                           ).astype(np.float32)
+            jobs.append(MaterializedJob(kind, x, None, None, model=edge))
+            continue
+        x = rng.random((rows, 3, am["image_size"], am["image_size"]),
+                       ).astype(np.float32)
+        y = predict_labels(original, x)
+        eps = float(rec.get("eps", 8 / 255))
+        alpha = float(rec.get("alpha", 1 / 255))
+        n_steps = int(rec.get("steps", steps))
+        if kind == "diva":
+            c = float(rec.get("c", 1.0))
+            make = (lambda c=c, eps=eps, alpha=alpha, n=n_steps:
+                    DIVA(original, adapted, c=c, eps=eps, alpha=alpha,
+                         steps=n))
+        elif kind == "pgd":
+            make = (lambda eps=eps, alpha=alpha, n=n_steps:
+                    PGD(adapted, eps=eps, alpha=alpha, steps=n))
+        elif kind == "cw":
+            kappa = float(rec.get("kappa", 0.0))
+            make = (lambda eps=eps, alpha=alpha, n=n_steps, k=kappa:
+                    CWLinf(adapted, eps=eps, alpha=alpha, steps=n, kappa=k))
+        elif kind == "fgsm":
+            # FGSM == PGD(steps=1, alpha=eps, keep_best=False): one
+            # eps-sized sign step from the natural sample
+            make = (lambda eps=eps:
+                    PGD(adapted, eps=eps, alpha=eps, steps=1,
+                        keep_best=False))
+        elif kind == "nes":
+            ns = int(rec.get("n_samples", 4))
+            make = (lambda eps=eps, alpha=alpha, n=n_steps, ns=ns, s=i:
+                    NESDiva(original, adapted, n_samples=ns, eps=eps,
+                            alpha=alpha, steps=n, seed=s))
+        else:
+            raise ValueError(f"unknown workload job kind {kind!r}")
+        jobs.append(MaterializedJob(kind, x, y, make))
+    return Workload(spec, original, adapted, edge, jobs)
+
+
+def replay_sequential(workload: Workload) -> Dict[str, Any]:
+    """Each job alone, in arrival order — the pre-serve baseline.
+
+    Every attack job gets a fresh instance from its factory (distinct
+    requests hold distinct configurations; nothing is shared but the
+    models themselves), and inference jobs call ``predict`` on their own
+    rows only — exactly what a naive per-request handler would do.
+    """
+    results = []
+    t0 = time.perf_counter()
+    for job in workload.jobs:
+        if job.kind == "predict":
+            results.append(job.model.predict(job.x))
+        else:
+            results.append(job.make_attack().generate(job.x, job.y))
+    elapsed = time.perf_counter() - t0
+    return {"results": results, "seconds": elapsed,
+            "rows": workload.rows, "jobs": len(workload.jobs)}
+
+
+def replay_serve(workload: Workload, capacity: int = 64,
+                 session: Optional[ServeSession] = None) -> Dict[str, Any]:
+    """All jobs through one session: submit in arrival order, drain."""
+    session = session if session is not None else ServeSession(
+        capacity=capacity)
+    futures = []
+    t0 = time.perf_counter()
+    for job in workload.jobs:
+        if job.kind == "predict":
+            futures.append(session.submit_predict(job.model, job.x))
+        else:
+            futures.append(session.submit_attack(job.make_attack(),
+                                                 job.x, job.y))
+    results = [f.result() for f in futures]
+    elapsed = time.perf_counter() - t0
+    out = {"results": results, "seconds": elapsed, "rows": workload.rows,
+           "jobs": len(workload.jobs)}
+    out.update(session.stats)
+    return out
+
+
+def verify_parity(workload: Workload, capacity: int = 64) -> Dict[str, Any]:
+    """Replay both ways, assert bit-identical per-job results.
+
+    The serving layer's whole contract in one call: coalescing and
+    shared caches may change wall-time only.  Returns both replays'
+    timings plus the aggregate throughput ratio
+    (``rows / seconds`` serve over sequential).
+    """
+    seq = replay_sequential(workload)
+    srv = replay_serve(workload, capacity=capacity)
+    for i, (a, b) in enumerate(zip(seq["results"], srv["results"])):
+        if not (a.shape == b.shape and a.dtype == b.dtype
+                and np.array_equal(a, b)):
+            raise AssertionError(
+                f"job {i} ({workload.jobs[i].kind}) diverged between "
+                "sequential and served replay")
+    return {
+        "jobs": len(workload.jobs),
+        "rows": workload.rows,
+        "sequential_s": seq["seconds"],
+        "serve_s": srv["seconds"],
+        "throughput_ratio": seq["seconds"] / srv["seconds"],
+        "dispatches": srv["dispatches"],
+        "coalesced_dispatches": srv["coalesced_dispatches"],
+        "plan_cache": srv["plan_cache"],
+    }

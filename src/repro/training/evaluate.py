@@ -43,14 +43,18 @@ def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128,
     When no ``executor`` is given and the workload is large enough to
     amortize compilation (distillation teacher queries, big evaluation
     sets), a compiled forward replay is built best-effort and used for
-    every batch; the eager tape remains the fallback.
+    every batch; the eager tape remains the fallback.  Auto-compiled
+    replays are memoized in the process-wide
+    :func:`repro.nn.graph.default_plan_cache` (refreshed on every hit,
+    so mutated parameters are re-folded), which turns repeated large
+    evaluations of the same frozen model into pure replays.
     """
     was_training = getattr(model, "training", False)
     model.eval()
     if executor is None and isinstance(model, Module) \
             and len(x) >= _AUTO_COMPILE_MIN_BATCHES * batch_size:
-        from ..nn.graph import compile_forward_or_none
-        executor = compile_forward_or_none(model, x[:batch_size])
+        from ..nn.graph import compile_forward_cached
+        executor = compile_forward_cached(model, x[:batch_size])
     outs = []
     for start in range(0, len(x), batch_size):
         xb = x[start:start + batch_size]

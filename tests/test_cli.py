@@ -41,6 +41,59 @@ class TestCLI:
         out = report.write_report(str(tmp_path / "EXPERIMENTS.md"))
         assert os.path.exists(out)
 
+    def test_serve_replays_recorded_workload(self, tmp_path, capsys):
+        """`repro-exp serve --workload <spec.json>` replays the recorded
+        workload and asserts bit-parity against sequential runs."""
+        from repro.experiments.cli import main
+        from repro.serve import mixed_workload_spec, save_workload
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2                      # keep the smoke fast
+        path = str(tmp_path / "workload.json")
+        save_workload(spec, path)
+        assert main(["serve", "--workload", path, "--capacity", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out and "aggregate throughput" in out
+
+
+class TestDocsCheck:
+    """The CI docs gate: doctests run and links/anchors resolve."""
+
+    def _load(self):
+        import importlib.util
+        path = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "scripts", "check_docs.py")
+        spec = importlib.util.spec_from_file_location("check_docs", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_repo_docs_are_clean(self):
+        mod = self._load()
+        paths = []
+        for pattern in mod.DOC_FILES:
+            paths.extend(sorted(mod.ROOT.glob(pattern)))
+        assert paths, "doc file globs matched nothing"
+        assert mod.check_markdown(paths) == []
+
+    def test_broken_link_and_anchor_detected(self, tmp_path):
+        mod = self._load()
+        good = tmp_path / "good.md"
+        good.write_text("# Real Heading\nbody\n")
+        bad = tmp_path / "bad.md"
+        bad.write_text("[a](missing.md) [b](good.md#real-heading) "
+                       "[c](good.md#no-such-anchor)\n")
+        errors = mod.check_markdown([bad])
+        assert len(errors) == 2
+        assert any("missing.md" in e for e in errors)
+        assert any("no-such-anchor" in e for e in errors)
+
+    def test_slugs_match_github_style(self):
+        mod = self._load()
+        assert mod.github_slug("The `BENCH_<sha>.json` trajectory") == \
+            "the-bench_shajson-trajectory"
+        assert mod.github_slug("Trace/plan -> validate") == \
+            "traceplan---validate"
+
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "examples")

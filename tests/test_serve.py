@@ -1,0 +1,445 @@
+"""Serving layer: PlanCache eviction, scheduler fairness, bit-parity."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CWLinf, DIVA, PGD, TargetedDIVA
+from repro.edge import compile_edge
+from repro.models import build_model
+from repro.quantization import calibrate, prepare_qat
+from repro.serve import (JobError, PlanCache, Scheduler, ServeSession,
+                         build_workload, mixed_workload_spec, plan_nbytes,
+                         verify_parity)
+from repro.serve.scheduler import _group_key
+from repro.training import predict_labels
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Untrained resnet + frozen 8-bit adaptation with self-labels."""
+    rng = np.random.default_rng(0)
+    x = rng.random((24, 3, 12, 12)).astype(np.float32)
+    orig = build_model("resnet", num_classes=6, width=4, seed=0)
+    orig.eval()
+    quant = prepare_qat(orig, weight_bits=8)
+    calibrate(quant, x)
+    quant.freeze()
+    quant.eval()
+    y = predict_labels(orig, x)
+    return orig, quant, x, y
+
+
+@pytest.fixture(scope="module")
+def edge_model():
+    rng = np.random.default_rng(1)
+    x = rng.random((32, 1, 12, 12)).astype(np.float32)
+    lenet = build_model("lenet", num_classes=6, in_channels=1,
+                        image_size=12, width=4, seed=3)
+    lenet.eval()
+    q = prepare_qat(lenet, weight_bits=8, act_bits=8, per_channel=True)
+    calibrate(q, x)
+    q.freeze()
+    return compile_edge(q, 6), x
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan(self):
+        cache = PlanCache()
+        owner = object()
+        built = []
+        plan = cache.get("k", (owner,), lambda: built.append(1) or object())
+        again = cache.get("k", (owner,), lambda: built.append(1) or object())
+        assert plan is again and built == [1]
+        assert cache.stats["hits"] == 1
+
+    def test_owner_mismatch_rebuilds(self):
+        """A recycled/rebound key must never serve a stale plan."""
+        cache = PlanCache()
+        a, b = object(), object()
+        plan_a = cache.get("k", (a,), lambda: "plan-a")
+        assert cache.get("k", (b,), lambda: "plan-b") == "plan-b"
+        assert cache.get("k", (b,), lambda: "never") == "plan-b"
+        assert plan_a == "plan-a"
+
+    def test_failure_pinned(self):
+        cache = PlanCache()
+        calls = []
+        owner = object()
+        assert cache.get("k", (owner,), lambda: calls.append(1)) is None
+        assert cache.get("k", (owner,), lambda: calls.append(1)) is None
+        assert calls == [1]
+
+    def test_plan_nbytes_dedupes_views(self):
+        class P:
+            def __init__(self):
+                self.base = np.zeros((8, 128), dtype=np.float64)
+                self.view = self.base[:2]
+        assert plan_nbytes(P()) == 8 * 128 * 8
+
+    def test_owner_held_cache_never_compounds_entry_charges(self):
+        """An owner that holds the cache itself (EdgeModel.plan_cache)
+        must not have previously resident plans walked into every new
+        entry's byte charge — that would compound quadratically and
+        thrash eviction."""
+        cache = PlanCache()
+
+        class Model:
+            def __init__(self):
+                self.w = np.zeros(128, dtype=np.float64)     # 1 KiB
+                self.plan_cache = cache
+
+        class Plan:
+            def __init__(self):
+                self.buf = np.zeros(1024, dtype=np.float64)  # 8 KiB
+
+        m = Model()
+        cache.get("a", (m,), Plan)
+        cache.get("b", (m,), Plan)
+        cache.get("c", (m,), Plan)
+        sizes = [e.nbytes for _, e in cache.items()]
+        assert sizes == [8 * 1024 + 1024] * 3    # plan + owner, flat
+
+    def test_refresh_is_owner_scoped(self):
+        refreshed = []
+
+        class Plan:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def refresh(self):
+                refreshed.append(self.tag)
+
+        cache = PlanCache()
+        m1, m2 = object(), object()
+        cache.get("a", (m1,), lambda: Plan("a"))
+        cache.get("b", (m2,), lambda: Plan("b"))
+        cache.refresh(owners=[m1])
+        assert refreshed == ["a"]
+        cache.refresh()                  # None = everything
+        assert refreshed == ["a", "a", "b"]
+
+    def test_lru_eviction_under_budget(self):
+        class Plan:
+            def __init__(self):
+                self.buf = np.zeros(256, dtype=np.float64)   # 2 KiB
+        cache = PlanCache(budget_bytes=5000)
+        owner = object()
+        for k in "abc":
+            cache.get(k, (owner,), Plan)
+        assert "a" not in cache and {"b", "c"} <= set(
+            k for k, _ in cache.items())
+        assert cache.stats["evictions"] == 1
+        # touching "b" promotes it: inserting "d" now evicts "c"
+        cache.get("b", (owner,), lambda: pytest.fail("must hit"))
+        cache.get("d", (owner,), Plan)
+        assert "b" in cache and "c" not in cache
+
+
+class TestEvictionRebuildsValidate:
+    def test_edge_programs_evict_and_rebuild_bit_identical(self, edge_model):
+        """A tight budget cycles per-shape programs; every rebuild re-runs
+        the compile-time bit-validation and still matches the eager op
+        loop exactly."""
+        edge, x = edge_model
+        ref16 = edge.predict(x[:16], compiled=False)
+        ref8 = edge.predict(x[16:24], compiled=False)
+        edge._program_for(x[:16])
+        assert edge.plan_cache.stats["entries"] == 1
+        # budget fits one entry (program + pinned owner): alternating
+        # shapes forces eviction
+        one_entry = next(iter(edge.plan_cache.items()))[1].nbytes
+        edge.plan_cache = PlanCache(budget_bytes=int(one_entry * 1.5))
+        for _ in range(3):
+            np.testing.assert_array_equal(edge.predict(x[:16]), ref16)
+            np.testing.assert_array_equal(edge.predict(x[16:24]), ref8)
+        stats = edge.plan_cache.stats
+        assert stats["evictions"] >= 4 and stats["rebuilds"] >= 4
+        assert stats["entries"] == 1
+        assert stats["resident_bytes"] <= int(one_entry * 1.5)
+
+    def test_attack_programs_evict_and_rebuild_bit_identical(self, pair):
+        orig, quant, x, y = pair
+        atk = DIVA(orig, quant, steps=3)
+        ref = atk.generate(x[:8], y[:8])
+        paired = next(p for _, e in atk.plan_cache.items()
+                      for p in [e.plan] if p is not None)
+        atk.plan_cache = PlanCache(
+            budget_bytes=int(plan_nbytes(paired) * 1.2))
+        # distinct trailing shapes alternate through the tight cache
+        small = x[:8, :, :8, :8].copy()
+        ref_small = DIVA(orig, quant, steps=3).generate(small, y[:8])
+        for _ in range(2):
+            np.testing.assert_array_equal(atk.generate(x[:8], y[:8]), ref)
+            np.testing.assert_array_equal(atk.generate(small, y[:8]),
+                                          ref_small)
+        assert atk.plan_cache.stats["evictions"] >= 2
+        assert atk.plan_cache.stats["rebuilds"] >= 1
+
+
+class TestScheduler:
+    def _submit_attacks(self, session, attacks, x, y, rows=4):
+        futs = []
+        for i, atk in enumerate(attacks):
+            sl = slice((i * rows) % (len(x) - rows), None)
+            futs.append(session.submit_attack(
+                atk, x[sl][:rows], y[sl][:rows]))
+        return futs
+
+    def test_compatible_jobs_coalesce(self, pair):
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=64)
+        attacks = [DIVA(orig, quant, c=c, steps=3) for c in (0.5, 1.0, 2.0)]
+        futs = self._submit_attacks(session, attacks, x, y)
+        for f in futs:
+            f.result()
+        assert len(session.dispatch_log) == 1
+        assert session.dispatch_log[0].coalesced
+
+    def test_incompatible_signatures_stay_apart(self, pair):
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=64)
+        jobs = [DIVA(orig, quant, steps=3),
+                TargetedDIVA(orig, quant, target_class=1, steps=3),
+                PGD(quant, steps=3), PGD(quant, steps=4),
+                CWLinf(quant, steps=3, kappa=0.0),
+                CWLinf(quant, steps=3, kappa=1.0)]
+        futs = self._submit_attacks(session, jobs, x, y)
+        for f in futs:
+            f.result()
+        assert len(session.dispatch_log) == 6   # nothing merged
+
+    def test_arrival_order_fairness(self, pair):
+        """Job i is dispatched no later than round i: a stream of
+        mutually compatible jobs cannot starve the incompatible job
+        sitting between them."""
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=16)
+        futs = []
+        for i in range(6):
+            futs.append(session.submit_attack(
+                DIVA(orig, quant, c=1.0 + i, steps=2), x[:4], y[:4]))
+            if i == 1:       # the lone PGD arrives early...
+                lone = session.submit_attack(PGD(quant, steps=2),
+                                             x[:4], y[:4])
+        for f in futs:
+            f.result()
+        lone.result()
+        log = session.dispatch_log
+        # ...and is served in round 2 (0-indexed round 1), right after
+        # the first DIVA batch, despite 4 more DIVAs queued behind it
+        rounds_by_seq = {s: i for i, r in enumerate(log) for s in r.seqs}
+        for seq, rnd in rounds_by_seq.items():
+            assert rnd <= seq, (seq, rnd, log)
+        assert rounds_by_seq[2] == 1    # the PGD was job seq=2
+
+    def test_max_batch_rows_caps_coalescing(self, pair):
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=64, max_batch_rows=8)
+        attacks = [DIVA(orig, quant, c=c, steps=2) for c in (0.5, 1.0, 2.0)]
+        futs = self._submit_attacks(session, attacks, x, y, rows=4)
+        for f in futs:
+            f.result()
+        assert len(session.dispatch_log) == 2
+        assert all(r.rows <= 8 for r in session.dispatch_log)
+
+    def test_shared_cache_refreshes_across_instances(self, pair):
+        """A hit on a plan some *other* attack compiled must still see
+        current weights: refresh is store-wide, not per-builder."""
+        orig, quant, x, y = pair
+        model = build_model("resnet", num_classes=6, width=4, seed=9)
+        model.eval()
+        session = ServeSession(capacity=16)
+        session.submit_attack(PGD(model, steps=3), x[:6], y[:6]).result()
+        for p in model.parameters():        # operator rotates the model
+            p.data += 0.01
+        served = session.submit_attack(PGD(model, steps=3),
+                                       x[:6], y[:6]).result()
+        ref = PGD(model, steps=3).generate(x[:6], y[:6])
+        np.testing.assert_array_equal(served, ref)
+
+    def test_full_batch_state_job_matches_generate_defaults(self, pair):
+        """NES-style jobs (batch partition is part of the result) must
+        reproduce `attack.generate(x, y)` regardless of capacity."""
+        from repro.attacks import NESDiva
+        orig, quant, x, y = pair
+        ref = NESDiva(orig, quant, n_samples=2, steps=2,
+                      seed=5).generate(x[:12], y[:12])
+        session = ServeSession(capacity=8)     # != generate's default 64
+        got = session.submit_attack(
+            NESDiva(orig, quant, n_samples=2, steps=2, seed=5),
+            x[:12], y[:12]).result()
+        np.testing.assert_array_equal(got, ref)
+
+    def test_mixed_dtype_tenants_keep_their_precision(self, pair):
+        """Plan keys include dtype: a float64 tenant must never hit a
+        float32 plan (replays silently cast their input)."""
+        orig, quant, x, y = pair
+        x64 = x.astype(np.float64)
+        ref32 = DIVA(orig, quant, steps=3).generate(x[:6], y[:6])
+        ref64 = DIVA(orig, quant, steps=3).generate(x64[:6], y[:6])
+        session = ServeSession(capacity=16)
+        f32 = session.submit_attack(DIVA(orig, quant, steps=3),
+                                    x[:6], y[:6])
+        f64 = session.submit_attack(DIVA(orig, quant, steps=3),
+                                    x64[:6], y[:6])
+        np.testing.assert_array_equal(f32.result(), ref32)
+        np.testing.assert_array_equal(f64.result(), ref64)
+        assert f64.result().dtype == np.float64
+
+    def test_poisoned_coalesced_batch_retries_members_solo(self, pair):
+        """One tenant's broken request must not fail compatible jobs it
+        was merged with."""
+        orig, quant, x, y = pair
+
+        class Poisoned(PGD):
+            def serve_signature(self):       # coalesces with plain PGD
+                return ("PGD", id(self.model), self.steps)
+
+            def gradient_with_logits(self, *a, **k):
+                raise RuntimeError("tenant bug")
+
+        session = ServeSession(capacity=16)
+        bad = session.submit_attack(Poisoned(quant, steps=2), x[:4], y[:4])
+        good = session.submit_attack(PGD(quant, steps=2), x[4:8], y[4:8])
+        ref = PGD(quant, steps=2).generate(x[4:8], y[4:8])
+        np.testing.assert_array_equal(good.result(), ref)
+        with pytest.raises(JobError, match="tenant bug"):
+            bad.result()
+        assert session.dispatch_log[0].coalesced    # they did merge
+
+    def test_mismatched_labels_rejected_at_submit(self, pair):
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=16)
+        with pytest.raises(ValueError, match="labels have"):
+            session.submit_attack(PGD(quant, steps=2), x[:4], y[:3])
+
+    def test_failed_job_is_isolated(self, pair):
+        orig, quant, x, y = pair
+
+        class Broken(PGD):
+            def serve_signature(self):
+                return None
+
+            def gradient_with_logits(self, *a, **k):
+                raise RuntimeError("boom")
+
+        session = ServeSession(capacity=16)
+        bad = session.submit_attack(Broken(quant, steps=2), x[:4], y[:4])
+        good = session.submit_attack(PGD(quant, steps=2), x[:4], y[:4])
+        with pytest.raises(JobError, match="boom"):
+            bad.result()
+        ref = PGD(quant, steps=2).generate(x[:4], y[:4])
+        np.testing.assert_array_equal(good.result(), ref)
+
+    def test_group_key_respects_shape_and_dtype(self, pair):
+        orig, quant, x, y = pair
+        from repro.serve.scheduler import Job, JobFuture
+        atk = DIVA(orig, quant, steps=2)
+
+        def key_for(arr):
+            return _group_key(Job(kind="attack", seq=0, x=arr,
+                                  future=JobFuture(lambda: None),
+                                  y=y[:4], attack=atk))
+        assert key_for(x[:4]) == key_for(x[4:8])
+        assert key_for(x[:4]) != key_for(x[:4].astype(np.float64))
+        assert key_for(x[:4]) != key_for(x[:4, :, :8, :8])
+
+
+class TestServeParity:
+    def test_coalesced_attacks_bit_identical_to_solo(self, pair):
+        orig, quant, x, y = pair
+        configs = [dict(c=0.5, eps=8 / 255), dict(c=1.0, eps=16 / 255),
+                   dict(c=2.0, alpha=2 / 255)]
+        refs = [DIVA(orig, quant, steps=4, **cfg).generate(x[i * 6:(i + 1) * 6],
+                                                           y[i * 6:(i + 1) * 6])
+                for i, cfg in enumerate(configs)]
+        session = ServeSession(capacity=32)
+        futs = [session.submit_attack(DIVA(orig, quant, steps=4, **cfg),
+                                      x[i * 6:(i + 1) * 6],
+                                      y[i * 6:(i + 1) * 6])
+                for i, cfg in enumerate(configs)]
+        for ref, fut in zip(refs, futs):
+            np.testing.assert_array_equal(fut.result(), ref)
+        assert session.dispatch_log[0].coalesced
+
+    def test_coalesced_predict_bit_identical_to_solo(self, edge_model):
+        edge, x = edge_model
+        refs = [edge.predict(x[:12]), edge.predict(x[12:20]),
+                edge.predict(x[20:32])]
+        session = ServeSession(capacity=16, predict_batch=64)
+        futs = [session.submit_predict(edge, x[:12]),
+                session.submit_predict(edge, x[12:20]),
+                session.submit_predict(edge, x[20:32])]
+        for ref, fut in zip(refs, futs):
+            got = fut.result()
+            np.testing.assert_array_equal(got, ref)
+            assert got.base is None      # owned, not a merged-batch view
+        assert len(session.dispatch_log) == 1
+
+    def test_mixed_workload_parity_and_stats(self):
+        """The acceptance workload: interleaved attack + inference jobs
+        served bit-identically to sequential replay."""
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 3            # keep the test fast
+        out = verify_parity(build_workload(spec), capacity=32)
+        assert out["jobs"] == 12
+        assert out["coalesced_dispatches"] >= 2
+        assert out["dispatches"] < out["jobs"]
+
+    def test_session_shares_one_plan_cache(self, pair):
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=16)
+        a = DIVA(orig, quant, c=0.5, steps=2)
+        b = DIVA(orig, quant, c=2.0, steps=2)
+        session.submit_attack(a, x[:4], y[:4]).result()
+        session.submit_attack(b, x[4:8], y[4:8]).result()
+        assert a.plan_cache is session.plan_cache
+        assert b.plan_cache is session.plan_cache
+        # the pair compiled once, for the whole session
+        assert session.plan_cache.stats["entries"] == 1
+
+
+class TestBurstMemory:
+    def test_repeated_bursts_release_programs(self):
+        """Serving many workload bursts must not accumulate retired
+        compiled programs: programs are self-referential (op closures
+        capture them), so they are cyclic garbage the drain explicitly
+        collects — steady-state object count stays flat across bursts."""
+        import gc
+        from repro.serve import mixed_workload_spec, build_workload, \
+            replay_serve
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        w = build_workload(spec)
+        replay_serve(w)
+        replay_serve(w)
+        gc.collect()
+        n0 = len(gc.get_objects())
+        for _ in range(3):
+            replay_serve(w)
+        gc.collect()
+        growth = len(gc.get_objects()) - n0
+        assert growth < 500, f"{growth} objects leaked across bursts"
+
+
+class TestCachedForwardCompile:
+    def test_predict_logits_cache_refreshes_after_mutation(self):
+        """The memoized auto-compiled replay must re-fold mutated
+        parameters — a cached executor can never serve stale weights."""
+        from repro.nn import Tensor
+        from repro.nn.graph import compile_forward_cached
+        from repro.serve import PlanCache
+        model = build_model("lenet", num_classes=4, in_channels=1,
+                            image_size=12, width=4, seed=0)
+        model.eval()
+        x = np.random.default_rng(0).random((4, 1, 12, 12)).astype(np.float32)
+        cache = PlanCache()
+        ex = compile_forward_cached(model, x, cache=cache)
+        assert ex is not None
+        np.testing.assert_array_equal(ex.replay(x), model(Tensor(x)).data)
+        for p in model.parameters():
+            p.data += 0.05
+        ex2 = compile_forward_cached(model, x, cache=cache)
+        assert ex2 is ex            # cache hit ...
+        np.testing.assert_allclose(ex2.replay(x), model(Tensor(x)).data,
+                                   rtol=0, atol=0)   # ... with fresh folds
