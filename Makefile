@@ -1,10 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-all docs-check
+.PHONY: test chaos bench bench-all docs-check
 
 test:
 	$(PYTHON) -m pytest -q
+
+# the fault-tolerance gate: the full tier-1 suite (which includes the
+# deterministic chaos tests in tests/test_chaos.py) plus a CLI serve
+# replay under the fault injector, both pinned to one seed so failures
+# reproduce bit-for-bit
+chaos:
+	REPRO_FAULT_SEED=0 $(PYTHON) -m pytest -x -q
+	REPRO_FAULT_SEED=0 $(PYTHON) -m repro.experiments.cli serve --smoke \
+		--faults --deadline-ms 400
 
 bench:
 	$(PYTHON) -m repro.benchrunner
@@ -14,8 +23,8 @@ bench-all:
 
 # scripts/check_docs.py owns the authoritative doctest module list
 # (DOCTEST_MODULES) and the markdown link/anchor check; the direct
-# `python -m doctest` line is a packaging-free smoke for the one
-# dependency-less module (runs without PYTHONPATH or install).
+# `python -m doctest` line is a packaging-free smoke for a module with
+# no intra-package imports (runs without PYTHONPATH or install).
 docs-check:
-	$(PYTHON) -m doctest src/repro/serve/cache.py
+	$(PYTHON) -m doctest src/repro/serve/resilience.py
 	$(PYTHON) scripts/check_docs.py

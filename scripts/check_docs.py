@@ -28,6 +28,8 @@ ROOT = Path(__file__).resolve().parents[1]
 
 DOCTEST_MODULES = [
     "repro.serve.cache",
+    "repro.serve.faults",
+    "repro.serve.resilience",
     "repro.serve.scheduler",
     "repro.serve.session",
     "repro.serve.workload",

@@ -103,7 +103,15 @@ def softmax_vjp(probs: np.ndarray, v: np.ndarray) -> np.ndarray:
 
 
 def compile_model(model, example: np.ndarray):
-    """Best-effort compiled forward for a frozen model; None on fallback."""
+    """Best-effort compiled forward for a frozen model; None on fallback.
+
+    ``attack.plan.build`` is the chaos harness's plan-build injection
+    point (a no-op import + call unless an injector is installed): an
+    error fault here is a failed compile, surfaced to the serving layer
+    as a dispatch failure it must degrade around.
+    """
+    from ..serve import faults
+    faults.fire("attack.plan.build")
     from ..nn.graph import compile_forward_or_none
     return compile_forward_or_none(model, example)
 
@@ -257,12 +265,16 @@ class Attack:
         keying discipline as :meth:`_compiled`."""
         if not self.use_compiled:
             return None
-        from .engine import PairedExecutor
+
+        def _build():
+            from ..serve import faults
+            faults.fire("attack.plan.build")
+            from .engine import PairedExecutor
+            return PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS])
+
         return self.plan_cache.get(
             (tuple(id(m) for m in models), x.shape[1:], x.dtype.str),
-            tuple(models),
-            lambda: PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS]),
-            scope=self)
+            tuple(models), _build, scope=self)
 
     def _plan_owners(self) -> Optional[List]:
         """The models whose compiled plans this attack replays, used to
@@ -323,16 +335,44 @@ class Attack:
         return project_linf(stepped, x_rows, eps).astype(x_rows.dtype)
 
     def _run_plain(self, xb: np.ndarray, yb: np.ndarray, adv: np.ndarray,
-                   snaps: Optional[List[np.ndarray]]) -> np.ndarray:
-        for _ in range(self.steps):
+                   snaps: Optional[List[np.ndarray]],
+                   deadline=None, row0: int = 0) -> np.ndarray:
+        """Fixed-step loop (full-batch state attacks with keep_best off).
+
+        Deadline-expired rows are *frozen*, not dropped: the batch keeps
+        its composition so full-batch gradient state (momentum velocity,
+        NES RNG draws) is untouched for every other row — value
+        neutrality is the serving layer's core contract.  A frozen row's
+        held iterate is its best-so-far result.
+        """
+        stopped = (np.zeros(len(xb), dtype=bool)
+                   if deadline is not None else None)
+        held: Optional[np.ndarray] = None
+        for t in range(self.steps):
+            if stopped is not None and not stopped.all():
+                live = np.flatnonzero(~stopped)
+                exp = np.asarray(deadline.poll(row0 + live), dtype=bool)
+                if exp.any():
+                    newly = live[exp]
+                    if held is None:
+                        held = np.empty_like(adv)
+                    held[newly] = adv[newly]
+                    stopped[newly] = True
+                    deadline.expire(row0 + newly, t)
+            if stopped is not None and stopped.all() and snaps is None:
+                break
             g, _ = self.gradient_with_logits(adv, yb)
             adv = self._step(adv, xb, g)
             if snaps is not None:
                 snaps.append(adv)
+        if held is not None:
+            shape = (-1,) + (1,) * (adv.ndim - 1)
+            return np.where(stopped.reshape(shape), held, adv)
         return adv
 
     def _run_keep_best(self, xb: np.ndarray, yb: np.ndarray, adv: np.ndarray,
-                       snaps: Optional[List[np.ndarray]]) -> np.ndarray:
+                       snaps: Optional[List[np.ndarray]],
+                       deadline=None, row0: int = 0) -> np.ndarray:
         """Keep-best loop with shifted success checks.
 
         Iterate ``adv_t`` is checked with the logits of the gradient pass
@@ -340,6 +380,12 @@ class Attack:
         ``adv_{t+1}`` anyway); the final iterate pays one trailing
         forward.  The sequence of checked iterates — and every produced
         sample — is identical to checking right after each step.
+
+        Deadline-expired rows reuse the held/done machinery: they freeze
+        at their current iterate (best-so-far) without leaving the
+        batch, so full-batch gradient state stays untouched for the
+        surviving rows.  Rows already done (a genuine success) are never
+        polled — completion always wins over expiry.
         """
         held = adv.copy()
         done = np.zeros(len(xb), dtype=bool)
@@ -359,6 +405,15 @@ class Attack:
             return mask
 
         for t in range(self.steps):
+            if deadline is not None:
+                live = np.flatnonzero(~done)
+                if live.size:
+                    exp = np.asarray(deadline.poll(row0 + live), dtype=bool)
+                    if exp.any():
+                        newly = live[exp]
+                        held[newly] = adv[newly]
+                        done[newly] = True
+                        deadline.expire(row0 + newly, t)
             active = np.flatnonzero(~done) if self.shrink_done else \
                 np.arange(len(xb))
             if active.size == 0:
@@ -386,7 +441,8 @@ class Attack:
 
     def generate(self, x: np.ndarray, y: np.ndarray,
                  trace: Optional[AttackTrace] = None,
-                 batch_size: int = 64) -> np.ndarray:
+                 batch_size: int = 64,
+                 deadline=None) -> np.ndarray:
         """Craft adversarial examples for the whole batch.
 
         Ascends the subclass objective with sign steps, projecting back
@@ -396,6 +452,11 @@ class Attack:
         slot capacity, and slots freed by successful samples are
         refilled from later batches.  Iterates are bit-identical to the
         per-batch loop either way.
+
+        ``deadline`` (a :class:`~repro.serve.resilience.DeadlineToken`
+        with one entry per row of ``x``) retires expiring rows between
+        steps with their best-so-far iterate — the serving layer's
+        graceful-degradation path.
         """
         y = np.asarray(y)
         self._refresh_compiled()
@@ -407,7 +468,8 @@ class Attack:
             snaps = (np.empty((self.steps,) + x.shape, dtype=x.dtype)
                      if trace is not None else None)
             adv = run_scheduled(self, x, y, self._init(x), eps, alpha, check,
-                                None, capacity=batch_size, snaps=snaps)
+                                None, capacity=batch_size, snaps=snaps,
+                                deadline=deadline)
             if trace is not None:
                 for t in range(self.steps):
                     trace.record(snaps[t])
@@ -422,9 +484,11 @@ class Attack:
             adv = self._init(xb)
             snaps_b: Optional[List[np.ndarray]] = [] if trace is not None else None
             if self.keep_best:
-                final = self._run_keep_best(xb, yb, adv, snaps_b)
+                final = self._run_keep_best(xb, yb, adv, snaps_b,
+                                            deadline=deadline, row0=start)
             else:
-                final = self._run_plain(xb, yb, adv, snaps_b)
+                final = self._run_plain(xb, yb, adv, snaps_b,
+                                        deadline=deadline, row0=start)
             outs.append(final)
             if trace is not None:
                 for t in range(self.steps):

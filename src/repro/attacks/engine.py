@@ -142,7 +142,8 @@ def run_scheduled(attack, x: np.ndarray, y: np.ndarray, adv: np.ndarray,
                   eps: np.ndarray, alpha: np.ndarray, check: np.ndarray,
                   params: Optional[Dict[str, np.ndarray]],
                   capacity: int,
-                  snaps: Optional[np.ndarray] = None) -> np.ndarray:
+                  snaps: Optional[np.ndarray] = None,
+                  deadline=None) -> np.ndarray:
     """Active-slot keep-best loop with cross-batch work stealing.
 
     ``adv`` holds the initialized iterates and is advanced in place;
@@ -155,6 +156,13 @@ def run_scheduled(attack, x: np.ndarray, y: np.ndarray, adv: np.ndarray,
     Per-sample trajectories depend only on that sample's own gradients,
     so outputs are bit-identical to running each item in its own
     sequential batch — scheduling only changes wall-time.
+
+    ``deadline`` — a :class:`~repro.serve.resilience.DeadlineToken` (or
+    anything with its ``poll``/``expire`` surface) — is checked once per
+    pass, *before* the next gradient is paid: rows whose deadline has
+    passed retire immediately with their current best-so-far iterate and
+    are recorded on the token.  Rows that already retired normally are
+    never polled, so a completed row can never be marked expired.
     """
     n_items = len(x)
     steps = attack.steps
@@ -167,6 +175,18 @@ def run_scheduled(attack, x: np.ndarray, y: np.ndarray, adv: np.ndarray,
             active.append(next_item)
             next_item += 1
         act = np.asarray(active, dtype=np.intp)
+        if deadline is not None:
+            exp = np.asarray(deadline.poll(act), dtype=bool)
+            if exp.any():
+                rows = act[exp]
+                deadline.expire(rows, steps_done[rows])
+                if snaps is not None:
+                    for i in rows:
+                        snaps[steps_done[i]:, i] = adv[i]
+                active = [i for i, e in zip(active, exp) if not e]
+                if not active:
+                    continue
+                act = act[~exp]
         variant = ({k: v[act] for k, v in params.items()}
                    if params else None)
         g, aux = attack.gradient_with_logits(adv[act], y[act], variant)

@@ -62,6 +62,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..nn.graph import ScratchPool
+from ..serve import faults
 from .engine import (Dequantize, EdgeModel, QConv2d, QFlatten, QLinear,
                      QMaxPool2d, QReLU, QuantizeInput, _prep_requant)
 
@@ -395,6 +396,9 @@ class EdgeProgram:
 
     def __init__(self, model: EdgeModel, example: np.ndarray,
                  pool: Optional[ScratchPool] = None, validate: bool = True):
+        # chaos-harness injection point: an error fault here is a failed
+        # plan build, caught by EdgeModel's loud eager-fallback path
+        faults.fire("edge.plan.build")
         x = np.asarray(example)
         if x.ndim < 2 or len(x) == 0:
             raise EdgeLoweringError("example batch must be non-empty")
@@ -487,6 +491,9 @@ class EdgeProgram:
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute the planned pipeline; returns freshly-owned logits."""
+        # kernel-dispatch injection point (error faults model a kernel
+        # failing at dispatch time; the serving ladder degrades to eager)
+        faults.fire("edge.dispatch")
         q = np.asarray(x)
         for step in self.steps:
             q = step.run(q)
@@ -494,8 +501,13 @@ class EdgeProgram:
 
     # -- validation ----------------------------------------------------- #
     def _validate(self, model: EdgeModel, example: np.ndarray) -> None:
+        faults.fire("edge.plan.validate")
         ref = model._eager_forward(example)
         got = self.run(example)
+        # corruption injection point: flips one element of the *compiled*
+        # output — validation is the defense against silent corruption,
+        # so the flip must be caught right here, never downstream
+        faults.corrupt("edge.plan.validate", got)
         if (got.shape != ref.shape or got.dtype != ref.dtype
                 or not np.array_equal(got, ref)):
             raise EdgeLoweringError(

@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -53,7 +54,13 @@ def _registry() -> Dict[str, Callable]:
 def _run_serve(args) -> int:
     """Replay a recorded mixed workload sequentially and through a
     :class:`~repro.serve.ServeSession`, assert bit-parity, and print
-    the aggregate throughput comparison."""
+    the aggregate throughput comparison.
+
+    With ``--faults`` the replay instead runs under the deterministic
+    chaos injector (:mod:`repro.serve.faults`): every non-rejected,
+    non-deadline job must still come out bit-identical to its solo run,
+    and the per-outcome breakdown is printed.
+    """
     from ..serve import (build_workload, load_workload, mixed_workload_spec,
                          verify_parity)
     spec = (load_workload(args.workload) if args.workload
@@ -62,16 +69,39 @@ def _run_serve(args) -> int:
     print(f"=== serve: workload {spec['name']} "
           f"({len(spec['jobs'])} jobs) ===")
     t0 = time.time()
-    out = verify_parity(build_workload(spec), capacity=args.capacity)
-    print(f"  parity OK: every job bit-identical to its solo run")
-    print(f"  sequential {out['sequential_s'] * 1e3:8.1f} ms  "
-          f"({out['rows']} rows, {out['jobs']} jobs)")
-    print(f"  served     {out['serve_s'] * 1e3:8.1f} ms  "
-          f"({out['dispatches']} dispatches, "
-          f"{out['coalesced_dispatches']} coalesced)")
-    print(f"  aggregate throughput {out['throughput_ratio']:.2f}x; "
-          f"plan cache {out['plan_cache']['hits']} hits / "
-          f"{out['plan_cache']['misses']} misses")
+    if args.faults:
+        from ..serve import chaos_replay
+        out = chaos_replay(build_workload(spec), capacity=args.capacity,
+                           seed=args.fault_seed,
+                           deadline_s=(args.deadline_ms / 1e3
+                                       if args.deadline_ms else None))
+        print(f"  chaos OK: every surviving job bit-identical, every "
+              f"refusal structured (fault seed {args.fault_seed})")
+        breakdown = ", ".join(f"{k}={v}" for k, v in
+                              sorted(out["outcome_counts"].items()))
+        print(f"  outcomes   {breakdown}  ({out['rows']} rows, "
+              f"{out['jobs']} jobs)")
+        fired = sum(n for kinds in out["faults_fired"].values()
+                    for n in kinds.values())
+        print(f"  faults     {fired} fired across "
+              f"{len(out['faults_fired'])} points; "
+              f"{out['retry_dispatches']} ladder retries, "
+              f"{out['quarantine']['trips']} quarantine trips, "
+              f"{out['quarantine']['heals']} heals")
+        print(f"  admission  {out['admission']['accepted']} accepted / "
+              f"{out['admission']['rejected']} rejected / "
+              f"{out['admission']['shed']} shed")
+    else:
+        out = verify_parity(build_workload(spec), capacity=args.capacity)
+        print(f"  parity OK: every job bit-identical to its solo run")
+        print(f"  sequential {out['sequential_s'] * 1e3:8.1f} ms  "
+              f"({out['rows']} rows, {out['jobs']} jobs)")
+        print(f"  served     {out['serve_s'] * 1e3:8.1f} ms  "
+              f"({out['dispatches']} dispatches, "
+              f"{out['coalesced_dispatches']} coalesced)")
+        print(f"  aggregate throughput {out['throughput_ratio']:.2f}x; "
+              f"plan cache {out['plan_cache']['hits']} hits / "
+              f"{out['plan_cache']['misses']} misses")
     print(f"[serve done in {time.time() - t0:.1f}s]")
     return 0
 
@@ -95,6 +125,17 @@ def main(argv=None) -> int:
                              "(default: the built-in mixed workload)")
     parser.add_argument("--capacity", type=int, default=64,
                         help="serve: scheduler slot capacity")
+    parser.add_argument("--faults", action="store_true",
+                        help="serve: replay under the deterministic chaos "
+                             "fault injector and print the per-outcome "
+                             "breakdown")
+    parser.add_argument("--fault-seed", type=int,
+                        default=int(os.environ.get("REPRO_FAULT_SEED", "0")),
+                        help="serve: seed for --faults (default: "
+                             "$REPRO_FAULT_SEED or 0)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="serve: per-job deadline in milliseconds for "
+                             "--faults replays (manual-clock time)")
     args = parser.parse_args(argv)
 
     set_default_dtype("float32")

@@ -1,4 +1,5 @@
-"""Attack-serving layer: shared plan caches, request coalescing, futures.
+"""Attack-serving layer: shared plan caches, request coalescing, futures,
+and the fault-tolerant control plane.
 
 The paper's threat model is multi-tenant by construction — many users
 query one deployed edge artifact while attackers probe the (original,
@@ -9,30 +10,56 @@ that layer:
 - :class:`PlanCache` (:mod:`repro.serve.cache`) — one budgeted LRU
   store for every compiled plan (forward replays, paired attack
   programs, integer edge programs), replacing the per-attack and
-  per-edge-model ad-hoc dicts;
+  per-edge-model ad-hoc dicts; pinned failures re-probe after a
+  cool-down so transient compile faults heal;
 - :class:`Scheduler` (:mod:`repro.serve.scheduler`) — arrival-order
   dispatch that coalesces compatible requests (same serve signature,
   same shape/dtype) into single scheduled passes, starvation-free by
-  construction;
+  construction, and walks failing dispatches down the degradation
+  ladder (coalesced-compiled → solo-compiled → eager);
 - :class:`ServeSession` (:mod:`repro.serve.session`) — the front end:
-  submit heterogeneous jobs, get per-job futures, results bit-identical
-  to running each job alone;
+  submit heterogeneous jobs (with tenants and deadlines), get per-job
+  futures, results bit-identical to running each job alone; admission
+  control bounds the queue and the session's stats surface accounts
+  every accepted/rejected/shed/degraded job;
+- :mod:`repro.serve.resilience` — the shared vocabulary: the
+  :class:`ServeError` taxonomy, clocks, deadline tokens, the
+  :class:`CircuitBreaker` quarantine and the
+  :class:`AdmissionController`;
+- :mod:`repro.serve.faults` — the deterministic, seeded fault-injection
+  harness (named injection points in plan build, validation, kernel
+  dispatch and queue timing) behind ``make chaos`` and ``repro-exp
+  serve --faults``;
 - :mod:`repro.serve.workload` — recorded mixed workloads, replayable
   sequentially or through a session (``repro-exp serve``), with parity
-  verification and the ``serve_throughput`` bench protocol.
+  verification, per-job outcome records and the ``serve_throughput``
+  bench protocol.
 """
 
 from .cache import PlanCache, plan_nbytes
-from .scheduler import DispatchRecord, Job, JobError, JobFuture, Scheduler
+from .faults import FaultInjector, FaultSpec, InjectedFault, \
+    default_chaos_specs, inject
+from .resilience import (LADDER, AdmissionController, AdmissionError,
+                         CircuitBreaker, Clock, DeadlineToken, JobError,
+                         ManualClock, QuotaError, ServeError, ShedError)
+from .scheduler import (OUTCOMES, DispatchRecord, Job, JobFuture,
+                        Scheduler)
 from .session import ServeSession
-from .workload import (Workload, build_workload, load_workload,
-                       mixed_workload_spec, replay_sequential, replay_serve,
-                       save_workload, verify_parity)
+from .workload import (Workload, build_workload, chaos_replay,
+                       load_workload, mixed_workload_spec,
+                       replay_sequential, replay_serve, save_workload,
+                       verify_parity)
 
 __all__ = [
     "PlanCache", "plan_nbytes",
-    "DispatchRecord", "Job", "JobError", "JobFuture", "Scheduler",
+    "FaultInjector", "FaultSpec", "InjectedFault", "default_chaos_specs",
+    "inject",
+    "LADDER", "AdmissionController", "AdmissionError", "CircuitBreaker",
+    "Clock", "DeadlineToken", "JobError", "ManualClock", "QuotaError",
+    "ServeError", "ShedError",
+    "OUTCOMES", "DispatchRecord", "Job", "JobFuture", "Scheduler",
     "ServeSession",
-    "Workload", "build_workload", "load_workload", "mixed_workload_spec",
-    "replay_sequential", "replay_serve", "save_workload", "verify_parity",
+    "Workload", "build_workload", "chaos_replay", "load_workload",
+    "mixed_workload_spec", "replay_sequential", "replay_serve",
+    "save_workload", "verify_parity",
 ]

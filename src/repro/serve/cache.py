@@ -25,9 +25,13 @@ drive many model variants (the EI-MTD moving-target setting).
   rebuilt on the next request, and every rebuild re-runs the leg's own
   compile-time bit-validation, so eviction can never change results —
   only warm-up cost;
-- **failure pinning** — a builder returning ``None`` (the shared
-  "fall back to eager" contract) is cached too, so an uncompilable
-  (model, shape) pays the failed compile once, not per request.
+- **failure pinning with cool-down re-probe** — a builder returning
+  ``None`` (the shared "fall back to eager" contract) is cached too, so
+  an uncompilable (model, shape) pays the failed compile once, not per
+  request.  With ``failure_cooldown_s`` set, a pinned failure expires
+  after the cool-down and the next request re-runs the builder — a
+  *transient* compile fault (an OOM spike, an injected chaos fault)
+  heals instead of pinning eager forever.
 
 The cache is deliberately single-threaded (as is the whole scheduler —
 this container is single-CPU; see ROADMAP's multi-core note) and makes
@@ -65,6 +69,8 @@ from typing import (Any, Callable, Dict, Iterator, Optional, Sequence,
                     Tuple)
 
 import numpy as np
+
+from .resilience import Clock
 
 #: traversal guard for :func:`plan_nbytes` — compiled plans are shallow
 #: (steps -> buffers), so a tight depth keeps the walk cheap and safe
@@ -151,13 +157,17 @@ class _Entry:
     process churning sessions would accumulate dead programs until the
     generational GC got around to them."""
 
-    __slots__ = ("owners", "plan", "nbytes", "_scope")
+    __slots__ = ("owners", "plan", "nbytes", "_scope", "failed_at")
 
-    def __init__(self, owners: Tuple, plan: Any, nbytes: int, scope: Any):
+    def __init__(self, owners: Tuple, plan: Any, nbytes: int, scope: Any,
+                 failed_at: Optional[float] = None):
         self.owners = owners
         self.plan = plan
         self.nbytes = nbytes
         self._scope = None if scope is None else weakref.ref(scope)
+        # when the plan is a pinned failure (None), the clock reading at
+        # pin time — drives the cool-down re-probe
+        self.failed_at = failed_at
 
     def scope_is(self, scope: Any) -> bool:
         return self._scope is not None and self._scope() is scope
@@ -176,12 +186,24 @@ class PlanCache:
         recently inserted entry is never evicted, so a single plan
         larger than the whole budget still serves (everything else
         goes).
+    failure_cooldown_s:
+        How long a pinned failure (builder returned None) stays pinned
+        before the next request re-runs the builder; None (the default)
+        pins failures for the cache's lifetime, the historic behaviour.
+    clock:
+        Monotonic time source for the cool-down; injectable so chaos
+        tests drive re-probes with a
+        :class:`~repro.serve.resilience.ManualClock`.
     """
 
-    def __init__(self, budget_bytes: Optional[int] = None):
+    def __init__(self, budget_bytes: Optional[int] = None,
+                 failure_cooldown_s: Optional[float] = None,
+                 clock: Optional[Clock] = None):
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive or None")
         self.budget_bytes = budget_bytes
+        self.failure_cooldown_s = failure_cooldown_s
+        self.clock = clock if clock is not None else Clock()
         self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
         # evicted keys awaiting a possible rebuild, kept only so a miss
         # can be classified as a rebuild in the stats; bounded (oldest
@@ -192,6 +214,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.rebuilds = 0
+        self.reprobes = 0
 
     # -- core ----------------------------------------------------------- #
     def get(self, key, owners: Tuple, build: Callable[[], Any],
@@ -209,11 +232,22 @@ class PlanCache:
         if entry is not None:
             if (len(entry.owners) == len(owners)
                     and all(a is b for a, b in zip(entry.owners, owners))):
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return entry.plan
-            # stale entry under a recycled/rebound key: rebuild below
-            del self._entries[key]
+                if (entry.plan is None
+                        and self.failure_cooldown_s is not None
+                        and entry.failed_at is not None
+                        and (self.clock.now() - entry.failed_at
+                             >= self.failure_cooldown_s)):
+                    # pinned failure past its cool-down: drop it and
+                    # give the builder another chance below
+                    del self._entries[key]
+                    self.reprobes += 1
+                else:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return entry.plan
+            else:
+                # stale entry under a recycled/rebound key: rebuild below
+                del self._entries[key]
         self.misses += 1
         if key in self._evicted_keys:
             self.rebuilds += 1
@@ -224,7 +258,9 @@ class PlanCache:
         # budget too (double-charged when several entries pin one
         # owner — conservative, i.e. errs toward evicting)
         nbytes = plan_nbytes(plan) + sum(plan_nbytes(o) for o in owners)
-        self._insert(key, _Entry(tuple(owners), plan, nbytes, scope))
+        failed_at = self.clock.now() if plan is None else None
+        self._insert(key, _Entry(tuple(owners), plan, nbytes, scope,
+                                 failed_at=failed_at))
         return plan
 
     def _insert(self, key, entry: _Entry) -> None:
@@ -258,6 +294,7 @@ class PlanCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "rebuilds": self.rebuilds,
+                "reprobes": self.reprobes,
                 "entries": len(self._entries),
                 "resident_bytes": self.total_bytes()}
 

@@ -1,0 +1,263 @@
+"""Deterministic, seeded fault injection for the serving control plane.
+
+Chaos testing the resilience layer needs faults that are *named* (so a
+test can say "plan validation corrupts on rebuild"), *seeded* (so a CI
+failure replays bit-for-bit from ``REPRO_FAULT_SEED``) and *free of
+wall-clock time* (latency faults advance a
+:class:`~repro.serve.resilience.ManualClock` instead of sleeping).
+
+Production code is instrumented with a handful of **named injection
+points** — a single ``faults.fire(point)`` / ``faults.corrupt(point,
+arr)`` call that is a no-op unless an injector is installed:
+
+======================  ================================================
+``attack.plan.build``   :func:`~repro.attacks.base.compile_model` and
+                        the paired-executor builder, before compiling —
+                        an error fault is a failed plan build.
+``edge.plan.build``     :class:`~repro.edge.program.EdgeProgram`
+                        construction — an error fault aborts lowering
+                        (caught by the loud eager-fallback path).
+``edge.plan.validate``  the compiled-vs-eager bit comparison — a
+                        corruption fault flips one element of the
+                        compiled output, so validation *must* catch it;
+                        an error fault aborts validation outright.
+``edge.dispatch``       :meth:`EdgeProgram.run` — an error fault is a
+                        kernel failure at dispatch time.
+``dispatch.attack``     scheduler attack dispatch (compiled rungs only).
+``dispatch.predict``    scheduler inference dispatch (compiled rungs
+                        only).
+``attack.step``         between compiled attack steps (fired by
+                        :meth:`DeadlineToken.poll <repro.serve.
+                        resilience.DeadlineToken.poll>`) — latency
+                        faults burn deadline budget mid-attack.
+``queue.tick``          once per scheduler dispatch round — latency
+                        faults model queueing delay.
+======================  ================================================
+
+Corruption faults are deliberately only injectable *upstream of a
+validator* (plan validation): the serving layer's defence against
+silent corruption **is** bit-validation, so the harness corrupts where
+a validator must catch it and never where nothing could.  Likewise the
+eager rung of the degradation ladder is never instrumented — it is the
+reference implementation the ladder degrades *to*, which is what lets
+the chaos suite assert that every completed job is still bit-identical
+to a solo eager run.
+
+Doctest — deterministic, seeded, clock-driven::
+
+    >>> from .resilience import ManualClock
+    >>> clock = ManualClock()
+    >>> inj = FaultInjector([FaultSpec("queue.tick", "latency", rate=1.0,
+    ...                                delay_s=0.25)], seed=7, clock=clock)
+    >>> with inject(inj):
+    ...     fire("queue.tick")
+    ...     fire("queue.tick")
+    >>> clock.now()
+    0.5
+    >>> inj.fired("queue.tick", "latency")
+    2
+    >>> fire("queue.tick")        # no injector installed: no-op
+    >>> clock.now()
+    0.5
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .resilience import ManualClock, ServeError
+
+#: every fault kind the injector understands
+KINDS = ("error", "latency", "corrupt")
+
+
+class InjectedFault(ServeError):
+    """An error fault fired at a named injection point."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultSpec:
+    """One fault stream: where, what, how often.
+
+    ``rate`` is the per-probe fire probability (1.0 = every probe);
+    ``max_fires`` bounds total fires so a spec can model a *transient*
+    fault that heals (None = unbounded); ``delay_s`` is the clock
+    advance per latency fire.
+    """
+
+    point: str
+    kind: str
+    rate: float = 1.0
+    max_fires: Optional[int] = None
+    delay_s: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+class _Stream:
+    """Runtime state of one spec: its own RNG stream and fire budget."""
+
+    def __init__(self, spec: FaultSpec, seed: int, index: int):
+        self.spec = spec
+        # one independent, reconstructible stream per (seed, point, slot)
+        self.rng = np.random.default_rng(
+            [seed, zlib.crc32(spec.point.encode()), index])
+        self.fires = 0
+        self.probes = 0
+
+    def draw(self) -> bool:
+        self.probes += 1
+        if (self.spec.max_fires is not None
+                and self.fires >= self.spec.max_fires):
+            return False
+        if self.spec.rate < 1.0 and self.rng.random() >= self.spec.rate:
+            return False
+        self.fires += 1
+        return True
+
+
+class FaultInjector:
+    """Seeded fault plan over the named injection points.
+
+    Every spec owns an independent RNG stream keyed by (seed, point,
+    slot), so adding or removing one spec never perturbs another's
+    draw sequence — the property that makes "same seed, same chaos"
+    hold as fault plans evolve.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0,
+                 clock: Optional[ManualClock] = None):
+        self.seed = int(seed)
+        self.clock = clock
+        self._streams: Dict[str, List[_Stream]] = {}
+        for i, spec in enumerate(specs):
+            self._streams.setdefault(spec.point, []).append(
+                _Stream(spec, self.seed, i))
+        self.log: List[Dict[str, Any]] = []
+
+    # -- the two hooks --------------------------------------------------- #
+    def fire(self, point: str) -> None:
+        """Probe ``point``: latency faults advance the clock, then an
+        error fault (if drawn) raises :class:`InjectedFault`."""
+        err = False
+        for stream in self._streams.get(point, ()):
+            kind = stream.spec.kind
+            if kind == "corrupt" or not stream.draw():
+                continue
+            if kind == "latency":
+                if self.clock is not None:
+                    self.clock.advance(stream.spec.delay_s)
+                self.log.append({"point": point, "kind": "latency",
+                                 "delay_s": stream.spec.delay_s})
+            else:
+                self.log.append({"point": point, "kind": "error"})
+                err = True
+        if err:
+            raise InjectedFault(point)
+
+    def corrupt(self, point: str, arr: np.ndarray) -> bool:
+        """Probe ``point`` with a corruption target: flips one element
+        of ``arr`` in place when the fault fires.  Returns whether it
+        did (tests assert the downstream validator caught it)."""
+        hit = False
+        for stream in self._streams.get(point, ()):
+            if stream.spec.kind != "corrupt" or not stream.draw():
+                continue
+            flat = arr.reshape(-1)
+            idx = int(stream.rng.integers(flat.size))
+            flat[idx] += np.asarray(1, dtype=arr.dtype)
+            self.log.append({"point": point, "kind": "corrupt",
+                             "index": idx})
+            hit = True
+        return hit
+
+    # -- accounting ------------------------------------------------------ #
+    def fired(self, point: Optional[str] = None,
+              kind: Optional[str] = None) -> int:
+        return sum(1 for rec in self.log
+                   if (point is None or rec["point"] == point)
+                   and (kind is None or rec["kind"] == kind))
+
+    @property
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """``{point: {kind: fires}}`` over everything fired so far."""
+        out: Dict[str, Dict[str, int]] = {}
+        for rec in self.log:
+            by_kind = out.setdefault(rec["point"], {})
+            by_kind[rec["kind"]] = by_kind.get(rec["kind"], 0) + 1
+        return out
+
+
+# --------------------------------------------------------------------- #
+# module-level installation (what the instrumented code calls)
+# --------------------------------------------------------------------- #
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+@contextmanager
+def inject(injector: FaultInjector):
+    """Install ``injector`` for the duration of the block (no nesting —
+    the previous injector, if any, is restored on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def fire(point: str) -> None:
+    """Production-side hook: no-op unless an injector is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point)
+
+
+def corrupt(point: str, arr: np.ndarray) -> bool:
+    if _ACTIVE is not None:
+        return _ACTIVE.corrupt(point, arr)
+    return False
+
+
+def default_chaos_specs(deadline_pressure: bool = True) -> List[FaultSpec]:
+    """The stock chaos plan: every fault class at every point family.
+
+    Error faults are transient (bounded fires) so the cool-down
+    re-probe story is exercised end to end; latency faults are
+    unbounded and, with ``deadline_pressure``, aggressive enough to
+    expire realistic per-job deadlines mid-attack.
+    """
+    specs = [
+        FaultSpec("attack.plan.build", "error", rate=0.5, max_fires=2),
+        FaultSpec("edge.plan.build", "error", rate=0.5, max_fires=1),
+        FaultSpec("edge.plan.validate", "corrupt", rate=0.5, max_fires=2),
+        FaultSpec("edge.dispatch", "error", rate=0.3, max_fires=1),
+        FaultSpec("dispatch.attack", "error", rate=0.25, max_fires=2),
+        FaultSpec("dispatch.predict", "error", rate=0.25, max_fires=1),
+        FaultSpec("queue.tick", "latency", rate=1.0, delay_s=0.02),
+    ]
+    if deadline_pressure:
+        specs.append(FaultSpec("attack.step", "latency", rate=0.5,
+                               delay_s=0.05))
+    return specs

@@ -37,6 +37,20 @@ gradient batches through machinery that is just as happy with 64).
   that sample's own gradients; merged edge batches ride the integer
   path, which is exact per row.  Both are bit-identical to running each
   job alone — the scheduler may only change wall-time, never bytes.
+
+Failure handling runs down the **degradation ladder**
+(:data:`~repro.serve.resilience.LADDER`): a dispatch that raises at the
+coalesced-compiled rung quarantines its group key in the
+:class:`~repro.serve.resilience.CircuitBreaker` and retries every
+member solo-compiled, then eager — the rung that *is* the bit-exact
+reference implementation, so degradation can change latency but never
+bytes.  Every retry emits its own :class:`DispatchRecord` (``level`` /
+``retry``) and chains the prior rung's exception via ``__cause__``, so
+a post-hoc reader can attribute exactly which rung failed and why.
+Jobs with a deadline carry a
+:class:`~repro.serve.resilience.DeadlineToken` into the step loop and
+resolve ``deadline-degraded`` with their best-so-far iterates instead
+of running long or failing.
 """
 
 from __future__ import annotations
@@ -49,10 +63,12 @@ import numpy as np
 
 from ..attacks.base import Attack
 from ..attacks.engine import run_scheduled
+from . import faults
+from .resilience import (EAGER_LEVEL, CircuitBreaker, Clock, DeadlineToken,
+                         JobError, ServeError)
 
-
-class JobError(RuntimeError):
-    """Raised by :meth:`JobFuture.result` when the job's run failed."""
+#: every terminal state a job can land in (the workload-record taxonomy)
+OUTCOMES = ("ok", "failed", "rejected", "deadline-degraded")
 
 
 class JobFuture:
@@ -60,8 +76,12 @@ class JobFuture:
 
     ``result()`` drives the owning session until this job resolves (the
     scheduler is single-threaded and synchronous — there is no waiting,
-    only work).  A failed job re-raises as :class:`JobError` with the
-    original exception chained.
+    only work).  A failed job re-raises a :class:`ServeError`: admission
+    and injected faults keep their own class, anything else is wrapped
+    in :class:`JobError` with the root cause chained.  ``outcome`` holds
+    the job's terminal state (one of :data:`OUTCOMES`) and ``info``
+    outcome details (e.g. per-row ``steps_done`` for deadline-degraded
+    attack jobs).
     """
 
     def __init__(self, drain: Callable[[], None]):
@@ -69,17 +89,27 @@ class JobFuture:
         self._done = False
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        self.outcome: Optional[str] = None
+        self.info: Dict[str, Any] = {}
 
     @property
     def done(self) -> bool:
         return self._done
 
-    def _resolve(self, value: Any) -> None:
+    def _resolve(self, value: Any, outcome: str = "ok",
+                 info: Optional[Dict[str, Any]] = None) -> None:
         self._value = value
+        self.outcome = outcome
+        if info:
+            self.info.update(info)
         self._done = True
 
-    def _fail(self, error: BaseException) -> None:
+    def _fail(self, error: BaseException, outcome: str = "failed",
+              info: Optional[Dict[str, Any]] = None) -> None:
         self._error = error
+        self.outcome = outcome
+        if info:
+            self.info.update(info)
         self._done = True
 
     def result(self) -> Any:
@@ -88,7 +118,10 @@ class JobFuture:
         if not self._done:        # pragma: no cover - defensive
             raise JobError("job did not resolve after a full drain")
         if self._error is not None:
-            raise JobError(str(self._error)) from self._error
+            if isinstance(self._error, ServeError):
+                raise self._error
+            raise JobError(f"{type(self._error).__name__}: {self._error}"
+                           ) from self._error
         return self._value
 
 
@@ -103,6 +136,8 @@ class Job:
     y: Optional[np.ndarray] = None
     attack: Optional[Attack] = None
     model: Any = None               # EdgeModel for "predict" jobs
+    tenant: Any = None              # admission-quota identity
+    deadline: Optional[float] = None   # absolute clock time, or None
 
     @property
     def rows(self) -> int:
@@ -111,11 +146,16 @@ class Job:
 
 @dataclass
 class DispatchRecord:
-    """One scheduling decision, kept for fairness tests and stats."""
+    """One scheduling decision, kept for fairness tests, retry
+    attribution and stats.  ``level`` is the degradation-ladder rung the
+    dispatch ran at (index into :data:`~repro.serve.resilience.LADDER`);
+    ``retry`` marks dispatches re-attempted after a failed rung."""
 
     key: Any
     seqs: Tuple[int, ...]
     rows: int
+    level: int = 0
+    retry: bool = False
     coalesced: bool = field(init=False)
 
     def __post_init__(self):
@@ -149,18 +189,31 @@ class Scheduler:
     predict_batch:
         Chunk size for merged edge-inference batches (the per-shape
         program cache amortizes best over one fixed chunk shape).
+    clock:
+        Time source for deadlines and quarantine cool-downs; injectable
+        so chaos tests drive everything from a
+        :class:`~repro.serve.resilience.ManualClock`.
+    breaker:
+        The per-key quarantine.  Shared with the owning session so its
+        stats surface on ``ServeSession.stats()``.
     """
 
     def __init__(self, capacity: int = 64, max_batch_rows: int = 512,
-                 predict_batch: int = 256):
+                 predict_batch: int = 256,
+                 clock: Optional[Clock] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         if capacity < 1 or max_batch_rows < 1 or predict_batch < 1:
             raise ValueError("capacity, max_batch_rows and predict_batch "
                              "must be >= 1")
         self.capacity = int(capacity)
         self.max_batch_rows = int(max_batch_rows)
         self.predict_batch = int(predict_batch)
+        self.clock = clock if clock is not None else Clock()
+        self.breaker = (breaker if breaker is not None
+                        else CircuitBreaker(clock=self.clock))
         self.pending: "deque[Job]" = deque()
         self.dispatch_log: List[DispatchRecord] = []
+        self.outcomes: Dict[str, int] = {o: 0 for o in OUTCOMES}
         self._seq = 0
 
     # -- queueing ------------------------------------------------------- #
@@ -173,16 +226,33 @@ class Scheduler:
     def __len__(self) -> int:
         return len(self.pending)
 
+    def settle(self, job: Job, *, value: Any = None,
+               error: Optional[BaseException] = None,
+               outcome: str = "ok",
+               info: Optional[Dict[str, Any]] = None) -> None:
+        """Resolve/fail a job's future exactly once and account the
+        outcome (the one funnel every terminal state goes through)."""
+        if job.future.done:
+            return
+        if error is not None:
+            job.future._fail(error, outcome=outcome, info=info)
+        else:
+            job.future._resolve(value, outcome=outcome, info=info)
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
     # -- dispatch ------------------------------------------------------- #
     def run_pending(self) -> int:
-        """Serve the queue to empty; returns the number of dispatches.
+        """Serve the queue to empty; returns the number of head rounds.
 
         Membership of each batch is decided when its head job (always
         the oldest pending) is popped — jobs enqueued mid-run join the
-        tail and cannot delay anything already queued.
+        tail and cannot delay anything already queued.  ``queue.tick``
+        fires once per round (a latency-fault injection point: queueing
+        delay under chaos; error faults do not belong on it).
         """
         rounds = 0
         while self.pending:
+            faults.fire("queue.tick")
             head = self.pending.popleft()
             key = _group_key(head)
             group = [head]
@@ -197,33 +267,73 @@ class Scheduler:
                     else:
                         kept.append(job)
                 self.pending = deque(kept)
-            self.dispatch_log.append(
-                DispatchRecord(key, tuple(j.seq for j in group), rows))
-            self._run_group(head.kind, group)
+            self._run_group(head.kind, group, key)
             rounds += 1
         return rounds
 
-    def _run_group(self, kind: str, group: List[Job]) -> None:
-        """Dispatch with blast-radius control: if a *coalesced* batch
-        fails (one tenant's malformed rows, say), every member is
-        retried solo so innocent jobs still complete and only the
-        faulty one carries the error."""
-        dispatch = (self._dispatch_predict if kind == "predict"
-                    else self._dispatch_attack)
-        try:
-            dispatch(group)
-        except Exception as exc:         # noqa: BLE001 - job isolation
-            if len(group) == 1:
-                group[0].future._fail(exc)
+    def _run_group(self, kind: str, group: List[Job], key) -> None:
+        """Dispatch a group down the degradation ladder.
+
+        A healthy key dispatches coalesced-compiled (rung 0).  If that
+        raises (one tenant's malformed rows, an injected fault, a bad
+        plan), the key is quarantined and every member walks the rest of
+        the ladder solo — innocent jobs still complete, the faulty one
+        carries the error, and each attempt is logged so failures are
+        attributable post-hoc.  A key already quarantined at rung L
+        skips straight to solo dispatch at L for every member.
+        """
+        start = self.breaker.level(key)
+        cause: Optional[BaseException] = None
+        if start == 0:
+            self.dispatch_log.append(DispatchRecord(
+                key, tuple(j.seq for j in group),
+                sum(j.rows for j in group), level=0))
+            try:
+                self._dispatch(kind, group, level=0)
+                self.breaker.record_success(key, 0)
                 return
-            for job in group:
-                try:
-                    dispatch([job])
-                except Exception as solo_exc:   # noqa: BLE001
-                    job.future._fail(solo_exc)
+            except Exception as exc:    # noqa: BLE001 - job isolation
+                self.breaker.record_failure(key, 0)
+                cause = exc
+            start = 1
+        for job in group:
+            self._run_ladder(kind, job, key, start, cause)
+
+    def _run_ladder(self, kind: str, job: Job, key, level: int,
+                    cause: Optional[BaseException]) -> None:
+        """Walk one job down the ladder from ``level`` until a rung
+        succeeds or the eager floor fails too.  Each failed rung's
+        exception is chained behind the next (``__cause__``), so the
+        terminal error explains the whole descent."""
+        while True:
+            level = min(level, EAGER_LEVEL)
+            self.dispatch_log.append(DispatchRecord(
+                key, (job.seq,), job.rows, level=level,
+                retry=cause is not None))
+            try:
+                self._dispatch(kind, [job], level=level)
+                self.breaker.record_success(key, level)
+                return
+            except Exception as exc:    # noqa: BLE001 - job isolation
+                self.breaker.record_failure(key, level)
+                if (cause is not None and exc is not cause
+                        and exc.__cause__ is None):
+                    exc.__cause__ = cause
+                cause = exc
+                if level >= EAGER_LEVEL:
+                    self.settle(job, error=exc, outcome="failed")
+                    return
+                level += 1
+
+    def _dispatch(self, kind: str, group: List[Job], level: int) -> None:
+        compiled = level < EAGER_LEVEL
+        if kind == "predict":
+            self._dispatch_predict(group, compiled=compiled)
+        else:
+            self._dispatch_attack(group, compiled=compiled)
 
     # -- attack batches -------------------------------------------------- #
-    def _dispatch_attack(self, group: List[Job]) -> None:
+    def _dispatch_attack(self, group: List[Job], compiled: bool = True) -> None:
         """One scheduled pass over the merged rows of ``group``.
 
         Mirrors :meth:`Attack.generate_sweep`'s tiling exactly, with one
@@ -234,57 +344,98 @@ class Scheduler:
         attack driving the gradient passes.  Per-sample trajectories are
         independent, so every job's slice is bit-identical to
         ``job.attack.generate(job.x, job.y)`` run alone.
+
+        ``compiled=False`` is the eager ladder rung: the head attack's
+        ``use_compiled`` is forced off for the dispatch, and no fault
+        point fires — eager is the reference implementation faults
+        degrade *to*, never a fault domain itself.  Jobs with deadlines
+        thread a :class:`DeadlineToken` into the step loop; rows whose
+        deadline passes retire between steps with their best-so-far
+        iterate and the job resolves ``deadline-degraded``.
         """
         rep = group[0].attack
-        if len(group) == 1 and not rep.shrink_done:
-            # full-batch gradient state (momentum, NES noise): the slot
-            # scheduler cannot host it, and the batch partition is part
-            # of the result (per-batch RNG/velocity state), so the job
-            # must run with generate's own default batching — exactly
-            # what `attack.generate(x, y)` alone would do
-            job = group[0]
-            job.future._resolve(rep.generate(job.x, job.y))
-            return
-        rep._refresh_compiled()
-        xs = np.concatenate([j.x for j in group], axis=0)
-        ys = np.concatenate([np.asarray(j.y) for j in group])
-        dtype = xs.dtype
-        eps = np.concatenate([
-            np.full(j.rows, j.attack.eps, dtype=dtype) for j in group])
-        alpha = np.concatenate([
-            np.full(j.rows, j.attack.alpha, dtype=dtype) for j in group])
-        check = np.concatenate([
-            np.full(j.rows, j.attack.keep_best, dtype=bool) for j in group])
-        params: Optional[Dict[str, np.ndarray]] = None
-        if len(group) > 1 and rep.sweep_params:
-            params = {key: np.concatenate([
-                np.full(j.rows, float(getattr(j.attack, key)),
-                        dtype=np.float64) for j in group])
-                for key in sorted(rep.sweep_params)}
-        adv0 = np.concatenate([j.attack._init(j.x) for j in group], axis=0)
-        adv = run_scheduled(rep, xs, ys, adv0, eps, alpha, check, params,
-                            capacity=self.capacity)
+        if compiled:
+            faults.fire("dispatch.attack")
+        token: Optional[DeadlineToken] = None
+        if any(j.deadline is not None for j in group):
+            row_deadlines: List[Optional[float]] = []
+            for j in group:
+                row_deadlines.extend([j.deadline] * j.rows)
+            token = DeadlineToken.for_rows(row_deadlines, self.clock)
+        prior = rep.use_compiled
+        rep.use_compiled = prior and compiled
+        try:
+            if len(group) == 1 and not rep.shrink_done:
+                # full-batch gradient state (momentum, NES noise): the slot
+                # scheduler cannot host it, and the batch partition is part
+                # of the result (per-batch RNG/velocity state), so the job
+                # must run with generate's own default batching — exactly
+                # what `attack.generate(x, y)` alone would do
+                job = group[0]
+                adv = rep.generate(job.x, job.y, deadline=token)
+                self._resolve_slices(group, adv, token)
+                return
+            rep._refresh_compiled()
+            xs = np.concatenate([j.x for j in group], axis=0)
+            ys = np.concatenate([np.asarray(j.y) for j in group])
+            dtype = xs.dtype
+            eps = np.concatenate([
+                np.full(j.rows, j.attack.eps, dtype=dtype) for j in group])
+            alpha = np.concatenate([
+                np.full(j.rows, j.attack.alpha, dtype=dtype) for j in group])
+            check = np.concatenate([
+                np.full(j.rows, j.attack.keep_best, dtype=bool)
+                for j in group])
+            params: Optional[Dict[str, np.ndarray]] = None
+            if len(group) > 1 and rep.sweep_params:
+                params = {key: np.concatenate([
+                    np.full(j.rows, float(getattr(j.attack, key)),
+                            dtype=np.float64) for j in group])
+                    for key in sorted(rep.sweep_params)}
+            adv0 = np.concatenate([j.attack._init(j.x) for j in group],
+                                  axis=0)
+            adv = run_scheduled(rep, xs, ys, adv0, eps, alpha, check, params,
+                                capacity=self.capacity, deadline=token)
+            self._resolve_slices(group, adv, token)
+        finally:
+            rep.use_compiled = prior
+
+    def _resolve_slices(self, group: List[Job], adv: np.ndarray,
+                        token: Optional[DeadlineToken]) -> None:
         start = 0
         for job in group:
-            job.future._resolve(adv[start:start + job.rows].copy())
-            start += job.rows
+            lo, hi = start, start + job.rows
+            if token is not None and token.job_slice_expired(lo, hi):
+                self.settle(
+                    job, value=adv[lo:hi].copy(), outcome="deadline-degraded",
+                    info={"expired_rows": int(token.expired[lo:hi].sum()),
+                          "steps_done": token.steps_done[lo:hi].copy()})
+            else:
+                self.settle(job, value=adv[lo:hi].copy(), outcome="ok")
+            start = hi
 
     # -- inference batches ----------------------------------------------- #
-    def _dispatch_predict(self, group: List[Job]) -> None:
+    def _dispatch_predict(self, group: List[Job], compiled: bool = True
+                          ) -> None:
         """Merged rows through one shared per-shape edge program.
 
         The integer path is exact per row (float64 GEMMs on sub-2**53
         integers, elementwise requantization), so chunking the merged
         batch differently from each solo ``predict`` call cannot change
-        a single bit of any job's logits.
+        a single bit of any job's logits.  Deadlines are ignored here by
+        design: inference is a single pass with no intermediate iterate
+        to return, so a "partial" predict does not exist.
         """
         model = group[0].model
+        if compiled:
+            faults.fire("dispatch.predict")
         xs = np.concatenate([j.x for j in group], axis=0)
-        out = model.predict(xs, batch_size=self.predict_batch)
+        out = model.predict(xs, batch_size=self.predict_batch,
+                            compiled=compiled)
         start = 0
         for job in group:
             # copy: a view would alias every tenant's result to one
             # merged buffer (and pin all of it for as long as any
             # caller keeps its small slice)
-            job.future._resolve(out[start:start + job.rows].copy())
+            self.settle(job, value=out[start:start + job.rows].copy())
             start += job.rows

@@ -61,9 +61,12 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from .resilience import ServeError
 from .session import ServeSession
 
-#: spec format version, bumped on incompatible schema changes
+#: spec format version, bumped on incompatible schema changes; job
+#: records may carry optional ``tenant`` / ``deadline_s`` fields (older
+#: specs without them replay unchanged, so the version stays 1)
 SPEC_VERSION = 1
 
 
@@ -133,6 +136,8 @@ class MaterializedJob:
     y: Optional[np.ndarray]
     make_attack: Optional[Any]      # zero-arg factory, None for predict
     model: Any = None               # EdgeModel for predict jobs
+    tenant: Any = None              # admission-quota identity
+    deadline_s: Optional[float] = None   # relative per-job deadline
 
 
 @dataclass
@@ -198,11 +203,15 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
     for i, rec in enumerate(spec["jobs"]):
         kind = rec["kind"]
         rows = int(rec["rows"])
+        tenant = rec.get("tenant")
+        deadline_s = rec.get("deadline_s")
+        deadline_s = None if deadline_s is None else float(deadline_s)
         if kind == "predict":
             x = rng.random((rows, em.get("in_channels", 1),
                             em["image_size"], em["image_size"]),
                            ).astype(np.float32)
-            jobs.append(MaterializedJob(kind, x, None, None, model=edge))
+            jobs.append(MaterializedJob(kind, x, None, None, model=edge,
+                                        tenant=tenant, deadline_s=deadline_s))
             continue
         x = rng.random((rows, 3, am["image_size"], am["image_size"]),
                        ).astype(np.float32)
@@ -235,7 +244,8 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
                             alpha=alpha, steps=n, seed=s))
         else:
             raise ValueError(f"unknown workload job kind {kind!r}")
-        jobs.append(MaterializedJob(kind, x, y, make))
+        jobs.append(MaterializedJob(kind, x, y, make, tenant=tenant,
+                                    deadline_s=deadline_s))
     return Workload(spec, original, adapted, edge, jobs)
 
 
@@ -261,36 +271,81 @@ def replay_sequential(workload: Workload) -> Dict[str, Any]:
 
 def replay_serve(workload: Workload, capacity: int = 64,
                  session: Optional[ServeSession] = None) -> Dict[str, Any]:
-    """All jobs through one session: submit in arrival order, drain."""
+    """All jobs through one session: submit in arrival order, drain.
+
+    Per-job terminal states are recorded alongside the results:
+    ``outcomes[i]`` is the job's outcome (``ok`` / ``failed`` /
+    ``rejected`` / ``deadline-degraded``), ``results[i]`` is its value
+    (the best-so-far batch for deadline-degraded attack jobs, None for
+    failed/rejected ones) and ``errors[i]`` the :class:`ServeError` a
+    refused or failed job raised.  Graceful degradation is thereby
+    distinguishable from silent corruption post-hoc — a replay record
+    says *how* every job ended, not just what it returned.
+    """
     session = session if session is not None else ServeSession(
         capacity=capacity)
     futures = []
     t0 = time.perf_counter()
     for job in workload.jobs:
         if job.kind == "predict":
-            futures.append(session.submit_predict(job.model, job.x))
+            futures.append(session.submit_predict(
+                job.model, job.x, tenant=job.tenant))
         else:
-            futures.append(session.submit_attack(job.make_attack(),
-                                                 job.x, job.y))
-    results = [f.result() for f in futures]
+            futures.append(session.submit_attack(
+                job.make_attack(), job.x, job.y, tenant=job.tenant,
+                deadline_s=job.deadline_s))
+    results: List[Optional[np.ndarray]] = []
+    errors: List[Optional[BaseException]] = []
+    for f in futures:
+        try:
+            results.append(f.result())
+            errors.append(None)
+        except ServeError as exc:
+            results.append(None)
+            errors.append(exc)
     elapsed = time.perf_counter() - t0
-    out = {"results": results, "seconds": elapsed, "rows": workload.rows,
-           "jobs": len(workload.jobs)}
-    out.update(session.stats)
+    outcomes = [f.outcome for f in futures]
+    counts: Dict[str, int] = {}
+    for o in outcomes:
+        counts[o] = counts.get(o, 0) + 1
+    out = dict(session.stats)
+    # per-replay records win over the session-lifetime stats keys
+    out.update({"results": results, "errors": errors, "outcomes": outcomes,
+                "outcome_counts": counts, "seconds": elapsed,
+                "rows": workload.rows, "jobs": len(workload.jobs)})
     return out
 
 
-def verify_parity(workload: Workload, capacity: int = 64) -> Dict[str, Any]:
+def verify_parity(workload: Workload, capacity: int = 64,
+                  allow_failures: bool = False,
+                  serve: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Replay both ways, assert bit-identical per-job results.
 
     The serving layer's whole contract in one call: coalescing and
     shared caches may change wall-time only.  Returns both replays'
     timings plus the aggregate throughput ratio
     (``rows / seconds`` serve over sequential).
+
+    With ``allow_failures`` (chaos runs), jobs that ended ``failed`` /
+    ``rejected`` / ``deadline-degraded`` are excluded from the bit
+    comparison — their degradation is *explicit* in the outcome record —
+    while every ``ok`` job must still match its solo run exactly:
+    graceful degradation is allowed, silent corruption never is.
+    ``serve`` optionally supplies an already-completed served replay
+    (e.g. one run under fault injection) instead of running a fresh one.
     """
     seq = replay_sequential(workload)
-    srv = replay_serve(workload, capacity=capacity)
+    srv = serve if serve is not None else replay_serve(workload,
+                                                       capacity=capacity)
+    not_ok = [(i, o) for i, o in enumerate(srv["outcomes"]) if o != "ok"]
+    if not_ok and not allow_failures:
+        raise AssertionError(
+            f"{len(not_ok)} job(s) did not complete ok "
+            f"(breakdown {srv['outcome_counts']}); pass "
+            "allow_failures=True for chaos replays")
     for i, (a, b) in enumerate(zip(seq["results"], srv["results"])):
+        if srv["outcomes"][i] != "ok":
+            continue
         if not (a.shape == b.shape and a.dtype == b.dtype
                 and np.array_equal(a, b)):
             raise AssertionError(
@@ -304,5 +359,82 @@ def verify_parity(workload: Workload, capacity: int = 64) -> Dict[str, Any]:
         "throughput_ratio": seq["seconds"] / srv["seconds"],
         "dispatches": srv["dispatches"],
         "coalesced_dispatches": srv["coalesced_dispatches"],
+        "outcome_counts": srv["outcome_counts"],
         "plan_cache": srv["plan_cache"],
+    }
+
+
+def chaos_replay(workload: Workload, capacity: int = 64,
+                 fault_specs=None, seed: int = 0,
+                 deadline_s: Optional[float] = None,
+                 max_pending_jobs: Optional[int] = None,
+                 admission_policy: str = "reject") -> Dict[str, Any]:
+    """Serve the workload under seeded fault injection and check every
+    resilience invariant the chaos suite (and ``repro-exp serve
+    --faults``) relies on:
+
+    - **no hangs, no silent drops** — every submitted job's future
+      resolves with a terminal outcome;
+    - **no silent corruption** — every ``ok`` job is bit-identical to
+      its solo fault-free run;
+    - **structured failures** — every refused/failed job raises a
+      :class:`~repro.serve.resilience.ServeError` subclass;
+    - **flagged degradation** — deadline-degraded jobs return a real
+      best-so-far batch plus per-row ``steps_done`` info.
+
+    Time is a :class:`~repro.serve.resilience.ManualClock` advanced only
+    by the injector's latency faults, so a given (workload, specs, seed)
+    triple replays bit-for-bit.  Short quarantine/failure cool-downs are
+    used so transient faults visibly heal within one replay.
+    """
+    from . import faults as faults_mod
+    from .resilience import ManualClock
+
+    clock = ManualClock()
+    specs = (fault_specs if fault_specs is not None
+             else faults_mod.default_chaos_specs())
+    injector = faults_mod.FaultInjector(specs, seed=seed, clock=clock)
+    # the fault-free solo reference, computed before any injection
+    reference = replay_sequential(workload)["results"]
+    session = ServeSession(
+        capacity=capacity, clock=clock,
+        default_deadline_s=deadline_s,
+        quarantine_cooldown_s=0.5, failure_cooldown_s=0.5,
+        max_pending_jobs=max_pending_jobs,
+        admission_policy=admission_policy)
+    with faults_mod.inject(injector):
+        srv = replay_serve(workload, session=session)
+    for i, outcome in enumerate(srv["outcomes"]):
+        kind = workload.jobs[i].kind
+        if outcome is None:
+            raise AssertionError(f"job {i} ({kind}) never resolved")
+        if outcome == "ok":
+            a, b = reference[i], srv["results"][i]
+            if not (a.shape == b.shape and a.dtype == b.dtype
+                    and np.array_equal(a, b)):
+                raise AssertionError(
+                    f"job {i} ({kind}) completed ok under faults but "
+                    "diverged from its solo fault-free run")
+        elif outcome == "deadline-degraded":
+            b = srv["results"][i]
+            if b is None or b.shape != reference[i].shape:
+                raise AssertionError(
+                    f"job {i} ({kind}) is deadline-degraded without a "
+                    "best-so-far batch")
+        elif srv["errors"][i] is None or not isinstance(
+                srv["errors"][i], ServeError):
+            raise AssertionError(
+                f"job {i} ({kind}) ended {outcome!r} without a "
+                "structured ServeError")
+    return {
+        "jobs": len(workload.jobs),
+        "rows": workload.rows,
+        "outcome_counts": srv["outcome_counts"],
+        "faults_fired": injector.stats,
+        "retry_dispatches": srv["retry_dispatches"],
+        "degraded_dispatches": srv["degraded_dispatches"],
+        "quarantine": srv["quarantine"],
+        "admission": srv["admission"],
+        "plan_cache": srv["plan_cache"],
+        "clock_s": clock.now(),
     }

@@ -54,6 +54,23 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "parity OK" in out and "aggregate throughput" in out
 
+    def test_serve_faults_reports_outcome_breakdown(self, tmp_path, capsys):
+        """`repro-exp serve --faults` replays under the chaos injector
+        and prints the per-outcome breakdown instead of wall-clock
+        parity numbers."""
+        from repro.experiments.cli import main
+        from repro.serve import mixed_workload_spec, save_workload
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        path = str(tmp_path / "workload.json")
+        save_workload(spec, path)
+        assert main(["serve", "--workload", path, "--capacity", "32",
+                     "--faults", "--fault-seed", "0",
+                     "--deadline-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos OK" in out and "outcomes" in out
+        assert "quarantine trips" in out
+
 
 class TestDocsCheck:
     """The CI docs gate: doctests run and links/anchors resolve."""

@@ -157,6 +157,35 @@ class TestEvictionRebuildsValidate:
         assert stats["entries"] == 1
         assert stats["resident_bytes"] <= int(one_entry * 1.5)
 
+    def test_evicted_rebuild_under_corruption_falls_back_loudly(
+            self, edge_model):
+        """Eviction forces a rebuild; a rebuild whose validation pass is
+        corrupted (injected fault) must pin the eager loop with a
+        warning — never serve the corrupted program, never a stale one."""
+        from repro.serve import FaultInjector, FaultSpec, inject
+        edge, x = edge_model
+        ref16 = edge.predict(x[:16], compiled=False)
+        ref8 = edge.predict(x[16:24], compiled=False)
+        edge.plan_cache = PlanCache()
+        edge._program_for(x[:16])
+        one_entry = next(iter(edge.plan_cache.items()))[1].nbytes
+        # budget fits one entry: the 8-row shape evicts the 16-row plan
+        edge.plan_cache = PlanCache(budget_bytes=int(one_entry * 1.5))
+        np.testing.assert_array_equal(edge.predict(x[:16]), ref16)
+        np.testing.assert_array_equal(edge.predict(x[16:24]), ref8)
+        assert edge.plan_cache.stats["evictions"] >= 1
+        inj = FaultInjector([FaultSpec("edge.plan.validate", "corrupt",
+                                       rate=1.0, max_fires=1)])
+        with inject(inj):
+            with pytest.warns(RuntimeWarning, match="lowering failed"):
+                got = edge.predict(x[:16])      # rebuild catches the flip
+        np.testing.assert_array_equal(got, ref16)
+        assert inj.fired("edge.plan.validate", "corrupt")
+        # the corrupted rebuild is pinned as a failure, not served
+        entry = next(e for k, e in edge.plan_cache.items()
+                     if k[2] == x[:16].shape)
+        assert entry.plan is None
+
     def test_attack_programs_evict_and_rebuild_bit_identical(self, pair):
         orig, quant, x, y = pair
         atk = DIVA(orig, quant, steps=3)
@@ -385,6 +414,43 @@ class TestServeParity:
         assert out["jobs"] == 12
         assert out["coalesced_dispatches"] >= 2
         assert out["dispatches"] < out["jobs"]
+
+    def test_replay_serve_records_per_job_outcomes(self):
+        """Replay output carries a per-job outcome record (satellite of
+        the fault-tolerance PR): a healthy replay is all-``ok`` and the
+        counts agree with the job list."""
+        from repro.serve import replay_serve
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        out = replay_serve(build_workload(spec))
+        assert out["outcomes"] == ["ok"] * 12
+        assert out["outcome_counts"] == {"ok": 12}
+        assert out["errors"] == [None] * 12
+
+    def test_workload_spec_roundtrips_tenant_and_deadline(self, tmp_path):
+        """tenant / deadline_s ride through save/load/build and reach
+        the session (a quota-bounded tenant's second job is rejected)."""
+        from repro.serve import (ServeSession, QuotaError, load_workload,
+                                 replay_serve, save_workload)
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        spec["jobs"] = [j for j in spec["jobs"]
+                        if j["kind"] != "predict"][:3]
+        for j in spec["jobs"]:
+            j["tenant"] = "A"
+            j["deadline_s"] = 30.0       # generous: must not expire
+        path = str(tmp_path / "w.json")
+        save_workload(spec, path)
+        w = build_workload(load_workload(path))
+        assert all(j.tenant == "A" and j.deadline_s == 30.0
+                   for j in w.jobs)
+        rows0 = len(w.jobs[0].x)
+        session = ServeSession(capacity=32,
+                               tenant_quota_rows={"A": rows0})
+        out = replay_serve(w, session=session)
+        assert out["outcomes"][0] == "ok"
+        assert "rejected" in out["outcomes"]
+        assert any(isinstance(e, QuotaError) for e in out["errors"])
 
     def test_session_shares_one_plan_cache(self, pair):
         orig, quant, x, y = pair
