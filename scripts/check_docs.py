@@ -13,7 +13,12 @@ Two passes:
    ``DOC_FILES`` must resolve — the target file must exist, and an
    anchor must match a heading slug (GitHub slugification) in the
    target.  External ``http(s)`` links are not fetched (CI has no
-   business depending on the network).
+   business depending on the network);
+3. the traced-op table in ``docs/ARCHITECTURE.md`` (the "Traced ops"
+   section) must list exactly the op kinds registered in
+   ``repro.nn.graph._FWD_FACTORY`` — an op added to the compiler
+   without a table row (or a stale row for a removed op) fails the
+   build.
 """
 
 from __future__ import annotations
@@ -87,6 +92,31 @@ def check_markdown(paths) -> list:
     return errors
 
 
+_OP_ROW = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|", re.MULTILINE)
+
+
+def check_traced_op_table() -> list:
+    """The ARCHITECTURE.md op table must match the compiler registry."""
+    from repro.nn.graph import _FWD_FACTORY
+    md = ROOT / "docs" / "ARCHITECTURE.md"
+    text = md.read_text()
+    start = text.find("### Traced ops")
+    if start < 0:
+        return ["docs/ARCHITECTURE.md: missing 'Traced ops' section"]
+    end = text.find("\n## ", start)
+    section = text[start:end if end > 0 else len(text)]
+    documented = set(_OP_ROW.findall(section)) - {"op"}
+    registered = set(_FWD_FACTORY)
+    errors = []
+    for op in sorted(registered - documented):
+        errors.append(f"docs/ARCHITECTURE.md: traced op `{op}` is "
+                      "registered but missing from the Traced ops table")
+    for op in sorted(documented - registered):
+        errors.append(f"docs/ARCHITECTURE.md: Traced ops table lists "
+                      f"`{op}`, which is not a registered op")
+    return errors
+
+
 def run_doctests(modules) -> int:
     failed = 0
     for name in modules:
@@ -112,7 +142,13 @@ def main() -> int:
         print(f"  {err}")
     print(f"  checked {len(paths)} files, {len(errors)} broken "
           "links/anchors")
-    return 1 if (failed or errors) else 0
+
+    print("== traced-op table ==")
+    op_errors = check_traced_op_table()
+    for err in op_errors:
+        print(f"  {err}")
+    print(f"  {len(op_errors)} drifted rows")
+    return 1 if (failed or errors or op_errors) else 0
 
 
 if __name__ == "__main__":

@@ -19,9 +19,13 @@ refilled with pending samples from later batches (cross-batch work
 stealing), so the gradient batch stays full until the global tail.
 ``Attack.generate_sweep`` tiles the batch across an (eps, c, ...)
 variant grid and feeds the same scheduler, sharing one compiled program
-pair and per-variant keep-best state across the whole grid.  All
-scheduling is value-neutral: per-sample trajectories are bit-identical
-to the classic one-batch-at-a-time loop.
+pair and per-variant keep-best state across the whole grid.  Attacks
+that declare a loop spec (:meth:`Attack._loop_spec`) additionally ride
+the recorded whole-loop path (:mod:`repro.attacks.loop`): every step of
+the scheduled loop replays inside one masked program, bit-validated
+against the step-at-a-time engine at plan-build time.  All scheduling
+is value-neutral: per-sample trajectories are bit-identical to the
+classic one-batch-at-a-time loop.
 
 Subclasses compile their frozen models into replayable programs
 (:mod:`repro.nn.graph`) — DIVA-family attacks fuse the (original,
@@ -156,6 +160,13 @@ class Attack:
     #: variants may override per item (e.g. DIVA's ``c``)
     sweep_params: frozenset = frozenset()
 
+    #: gradient passes the recorded whole-loop replays between deadline
+    #: polls (:mod:`repro.attacks.loop`).  The default of 1 matches the
+    #: step-at-a-time engine's poll cadence exactly (chaos parity);
+    #: larger chunks trade poll granularity for a little dispatch
+    #: overhead on deadline-bounded jobs.
+    loop_chunk = 1
+
     def __init__(self, eps: float = DEFAULT_EPS, alpha: float = DEFAULT_ALPHA,
                  steps: int = DEFAULT_STEPS, random_start: bool = False,
                  keep_best: bool = True, seed: int = 0):
@@ -170,6 +181,10 @@ class Attack:
         #: set False to force the eager-tape path (e.g. for counting
         #: model calls, or when model weights mutate mid-generate).
         self.use_compiled = True
+        #: set False to force step-at-a-time scheduling even when a
+        #: recorded whole-loop plan exists (bench arms, bisection);
+        #: results are bit-identical either way.
+        self.use_loop = True
         #: compiled-program store; private by default, rebound to a
         #: shared budgeted cache when the attack is served through a
         #: :class:`repro.serve.ServeSession`
@@ -208,6 +223,21 @@ class Attack:
     def is_success(self, x_adv: np.ndarray, y: np.ndarray) -> Optional[np.ndarray]:
         """Per-sample success mask under this attack's own objective, or
         None when the attack defines no early-success criterion."""
+        return None
+
+    def _loop_spec(self, x: np.ndarray):
+        """Recipe for whole-loop recording, or None (engine path).
+
+        Subclasses whose gradient is a pure function of the compiled
+        programs' logits return a :class:`repro.attacks.loop.LoopSpec`
+        (the programs plus seed/aux adapters); the base class — and any
+        subclass with stateful gradients, overridden step rules or
+        untraceable models — returns None, keeping the step-at-a-time
+        engine.  Implementations must refuse (return None) whenever
+        ``gradient_with_logits`` or ``_step`` is overridden relative to
+        the class that defines the spec, so a custom subclass can never
+        be silently driven by the wrong recipe.
+        """
         return None
 
     def serve_signature(self) -> Optional[Tuple]:
@@ -377,9 +407,16 @@ class Attack:
 
         Iterate ``adv_t`` is checked with the logits of the gradient pass
         that starts iteration ``t`` (the pass needed to produce
-        ``adv_{t+1}`` anyway); the final iterate pays one trailing
-        forward.  The sequence of checked iterates — and every produced
-        sample — is identical to checking right after each step.
+        ``adv_{t+1}`` anyway); the final iterate is returned *unchecked*,
+        because a success there cannot change the returned bytes — the
+        row would retire holding exactly that iterate.  This keeps the
+        done-mask semantics (and the pass count: exactly ``steps`` per
+        row) identical to :func:`~repro.attacks.engine.
+        run_scheduled_steps`; historically this loop paid one trailing
+        success forward, which made single-step keep-best runs
+        (FGSM-as-PGD(steps=1)) cost two passes here and one there.  The
+        sequence of checked iterates — and every produced sample — is
+        identical to checking right after each step.
 
         Deadline-expired rows reuse the held/done machinery: they freeze
         at their current iterate (best-so-far) without leaving the
@@ -431,10 +468,6 @@ class Attack:
                     active, g = active[~mask], g[~mask]
             if active.size:
                 adv[active] = self._step(adv[active], xb[active], g)
-        # trailing check of the final iterate
-        active = np.flatnonzero(~done)
-        if active.size:
-            check(active, self.success_logits(adv[active], yb[active]))
         if snaps is not None:
             snaps.append(merged())
         return merged()

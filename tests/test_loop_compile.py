@@ -1,0 +1,438 @@
+"""Whole-loop attack compilation: recorded loop vs step-at-a-time engine.
+
+The contract under test (``repro.attacks.loop``): the recorded loop —
+masked step kernel, direct program stepping, continuation-mask
+early-exit — is **bit-identical** to the step-at-a-time engine
+(``run_scheduled_steps``) for every routed attack, every sweep tile,
+every batch composition, and every serve path; anything the loop cannot
+express falls back to the engine loudly (a pinned-None plan), never
+silently wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (CWLinf, DIVA, MomentumPGD, PGD, TargetedDIVA,
+                           run_scheduled)
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.quantization import calibrate, prepare_qat
+from repro.serve import (DeadlineToken, FaultInjector, FaultSpec,
+                         ManualClock, ServeSession, inject)
+from repro.training import predict_labels
+
+FAULT_SEED = 0
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Untrained resnet + frozen 8-bit adaptation with self-labels."""
+    rng = np.random.default_rng(0)
+    x = rng.random((16, 3, 12, 12), dtype=np.float32)
+    orig = build_model("resnet", num_classes=6, width=4, seed=0)
+    quant = prepare_qat(orig, weight_bits=8)
+    calibrate(quant, x)
+    quant.freeze()
+    quant.eval()
+    y = predict_labels(orig, x, batch_size=len(x))
+    return orig, quant, x, y
+
+
+def loop_entries(attack):
+    """(key, plan) pairs of whole-loop entries in the attack's cache."""
+    return [(k, e.plan) for k, e in attack.plan_cache.items()
+            if isinstance(k, tuple) and k and k[0] == "attack-loop"]
+
+
+def loop_ran(attack):
+    ent = loop_entries(attack)
+    return bool(ent) and ent[0][1] is not None and ent[0][1].runs > 0
+
+
+class _SpyModel(Module):
+    """Counts forward calls through a wrapped model."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self.calls = 0
+
+    def forward(self, x):
+        self.calls += 1
+        return self.inner(x)
+
+
+class _Untraceable(Module):
+    """Eager-differentiable but refuses tracing: ``abs`` is a tape op
+    with no compiled lowering, so ``compile_model`` returns None."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x):
+        return self.inner(x).abs()
+
+
+class _NeverSucceedsPGD(PGD):
+    def success_from_logits(self, aux, y):
+        return None if aux is None else np.zeros(len(y), dtype=bool)
+
+    def is_success(self, x_adv, y):
+        return np.zeros(len(x_adv), dtype=bool)
+
+
+class _NeverSucceedsMomentumPGD(MomentumPGD):
+    def success_from_logits(self, aux, y):
+        return None if aux is None else np.zeros(len(y), dtype=bool)
+
+    def is_success(self, x_adv, y):
+        return np.zeros(len(x_adv), dtype=bool)
+
+
+class _FullBatchPGD(PGD):
+    """PGD forced onto the legacy per-batch keep-best loop."""
+
+    shrink_done = False
+
+
+class TestLoopParity:
+    """Looped vs step-at-a-time: bit-identical outputs, loop engaged."""
+
+    @pytest.mark.parametrize("eps,alpha", [(0.03, 0.01), (0.1, 0.05)])
+    @pytest.mark.parametrize("keep_best", [True, False])
+    def test_pgd(self, pair, eps, alpha, keep_best):
+        orig, quant, x, y = pair
+        a = PGD(quant, eps=eps, alpha=alpha, steps=7, keep_best=keep_best)
+        got = a.generate(x, y)
+        b = PGD(quant, eps=eps, alpha=alpha, steps=7, keep_best=keep_best)
+        b.use_loop = False
+        ref = b.generate(x, y)
+        assert np.array_equal(got, ref)
+        assert loop_ran(a) and not loop_entries(b)
+
+    @pytest.mark.parametrize("c", [0.5, 2.0])
+    def test_diva(self, pair, c):
+        orig, quant, x, y = pair
+        a = DIVA(orig, quant, c=c, steps=7)
+        got = a.generate(x, y)
+        b = DIVA(orig, quant, c=c, steps=7)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x, y))
+        assert loop_ran(a)
+
+    def test_targeted_diva(self, pair):
+        orig, quant, x, y = pair
+        a = TargetedDIVA(orig, quant, target_class=2, steps=6)
+        got = a.generate(x, y)
+        b = TargetedDIVA(orig, quant, target_class=2, steps=6)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x, y))
+        assert loop_ran(a)
+
+    @pytest.mark.parametrize("kappa", [0.0, 1.0])
+    def test_cw(self, pair, kappa):
+        orig, quant, x, y = pair
+        a = CWLinf(quant, steps=7, kappa=kappa)
+        got = a.generate(x, y)
+        b = CWLinf(quant, steps=7, kappa=kappa)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x, y))
+        assert loop_ran(a)
+
+    def test_sweep_tiles(self, pair):
+        """generate_sweep: per-row (eps, alpha, c) vectors through the
+        recorded loop match the engine tile for tile."""
+        orig, quant, x, y = pair
+        variants = [{"c": 0.5}, {"c": 1.0, "eps": 0.05},
+                    {"c": 2.0, "alpha": 0.02}]
+        a = DIVA(orig, quant, steps=6)
+        got = a.generate_sweep(x[:8], y[:8], variants)
+        b = DIVA(orig, quant, steps=6)
+        b.use_loop = False
+        ref = b.generate_sweep(x[:8], y[:8], variants)
+        assert len(got) == len(ref) == len(variants)
+        for g, r in zip(got, ref):
+            assert np.array_equal(g, r)
+        assert loop_ran(a)
+
+    def test_small_capacity_refill(self, pair):
+        """Slot refill + retirement compaction with capacity < batch."""
+        orig, quant, x, y = pair
+        a = PGD(quant, eps=0.1, alpha=0.02, steps=9)
+        got = a.generate(x, y, batch_size=4)
+        b = PGD(quant, eps=0.1, alpha=0.02, steps=9)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x, y, batch_size=4))
+        assert loop_ran(a)
+        # the masking path was actually exercised: some rows succeeded
+        assert a.is_success(got, y).any()
+
+
+class TestEarlyExitMasking:
+    def test_successful_rows_hold_their_first_success(self, pair):
+        """A keep-best row retires at its first success: stepping it
+        further (keep_best=False) changes bytes, proving the mask (not
+        luck) held the iterate."""
+        orig, quant, x, y = pair
+        a = PGD(quant, eps=0.1, alpha=0.02, steps=10)
+        got = a.generate(x, y)
+        assert loop_ran(a)
+        c = PGD(quant, eps=0.1, alpha=0.02, steps=10, keep_best=False)
+        free = c.generate(x, y)
+        ok = a.is_success(got, y)
+        assert ok.any()
+        # every successful row is genuinely adversarial and in-budget
+        assert np.abs(got - x).max() <= 0.1 + 1e-6
+        # at least one early-retired row differs from the free-running one
+        assert any(not np.array_equal(got[i], free[i])
+                   for i in np.flatnonzero(ok))
+
+    def test_loop_pays_exactly_steps_gradient_passes(self, pair):
+        """Warm loop, never-succeeding rows: program replays == steps —
+        no trailing success forward, no hidden extra passes."""
+        orig, quant, x, y = pair
+        steps = 7
+        a = _NeverSucceedsPGD(quant, eps=0.5, alpha=0.01, steps=steps)
+        a.generate(x[:8], y[:8])                      # warm the plans
+        assert loop_ran(a)
+        ex = a._compiled(quant, x[:8])
+        before = ex.replays
+        a.generate(x[:8], y[:8])
+        assert ex.replays - before == steps
+
+
+class TestFallbackPurity:
+    def test_untraceable_model_runs_engine(self, pair):
+        """No compiled programs -> no loop spec -> engine, bit-equal."""
+        orig, quant, x, y = pair
+        model = _Untraceable(quant)
+        a = PGD(model, steps=3)
+        got = a.generate(x[:6], y[:6])
+        b = PGD(model, steps=3)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x[:6], y[:6]))
+        assert not loop_entries(a)
+
+    def test_momentum_refuses_loop(self, pair):
+        """Velocity is loop-carried state the recorded loop does not
+        model: MomentumPGD must never route through it."""
+        orig, quant, x, y = pair
+        a = MomentumPGD(quant, steps=4)
+        b = MomentumPGD(quant, steps=4)
+        b.use_loop = False
+        assert np.array_equal(a.generate(x[:8], y[:8]),
+                              b.generate(x[:8], y[:8]))
+        assert not loop_entries(a)
+
+    def test_refused_trace_pins_loud_fallback(self, pair, monkeypatch):
+        """A kernel that refuses tracing pins a None plan (the loud
+        fallback) and the engine result comes back untouched."""
+        import repro.attacks.loop as loop_mod
+        from repro.nn.graph import GraphUnsupported
+
+        def refuse(*args, **kwargs):
+            raise GraphUnsupported("refused for test")
+
+        monkeypatch.setattr(loop_mod, "compile_step_kernel", refuse)
+        orig, quant, x, y = pair
+        a = PGD(quant, steps=4)
+        got = a.generate(x[:8], y[:8])
+        ent = loop_entries(a)
+        assert len(ent) == 1 and ent[0][1] is None   # pinned, not absent
+        b = PGD(quant, steps=4)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x[:8], y[:8]))
+
+    def test_use_loop_off_leaves_no_trace(self, pair):
+        orig, quant, x, y = pair
+        a = PGD(quant, steps=3)
+        a.use_loop = False
+        a.generate(x[:4], y[:4])
+        assert not loop_entries(a)
+
+    def test_validation_mismatch_falls_back(self, pair, monkeypatch):
+        """A loop that disagrees with the engine on the validation slice
+        must pin the fallback, not ship wrong bytes."""
+        import repro.attacks.loop as loop_mod
+        real = loop_mod._run_loop
+
+        def corrupted(attack, spec, kernel, x, y, adv, *args, **kwargs):
+            out = real(attack, spec, kernel, x, y, adv, *args, **kwargs)
+            if kwargs.get("steps") is not None:      # validation run only
+                adv += np.float32(1e-3)
+            return adv
+
+        monkeypatch.setattr(loop_mod, "_run_loop", corrupted)
+        orig, quant, x, y = pair
+        a = PGD(quant, steps=4)
+        got = a.generate(x[:8], y[:8])
+        ent = loop_entries(a)
+        assert len(ent) == 1 and ent[0][1] is None
+        b = PGD(quant, steps=4)
+        b.use_loop = False
+        assert np.array_equal(got, b.generate(x[:8], y[:8]))
+
+
+class TestPassCountRegression:
+    """Satellite bugfix: generate and run_scheduled share done-mask
+    semantics; single-step keep-best runs cost exactly one pass on
+    *both* loops (the legacy per-batch keep-best loop historically paid
+    a trailing success forward)."""
+
+    def test_legacy_keep_best_loop_passes_exactly_steps(self, pair):
+        orig, quant, x, y = pair
+        steps = 5
+        spy = _SpyModel(quant)
+        atk = _NeverSucceedsMomentumPGD(spy, steps=steps, eps=0.1,
+                                        alpha=0.01)
+        atk.use_compiled = False
+        atk.generate(x[:8], y[:8])
+        assert spy.calls == steps
+
+    def test_fgsm_as_single_step_pgd_costs_one_pass_both_loops(self, pair):
+        orig, quant, x, y = pair
+        # float32-exact eps/alpha: the scheduled engine carries them as
+        # per-row float32 vectors, the legacy loop as python scalars
+        spy_sched = _SpyModel(quant)
+        sched = PGD(spy_sched, eps=0.125, alpha=0.125, steps=1)
+        sched.use_compiled = False
+        got_sched = sched.generate(x[:8], y[:8])
+        spy_legacy = _SpyModel(quant)
+        legacy = _FullBatchPGD(spy_legacy, eps=0.125, alpha=0.125, steps=1)
+        legacy.use_compiled = False
+        got_legacy = legacy.generate(x[:8], y[:8])
+        # identical done-mask semantics for rows succeeding on step 0:
+        # same bytes, and exactly one gradient pass on either loop
+        assert np.array_equal(got_sched, got_legacy)
+        assert spy_sched.calls == 1
+        assert spy_legacy.calls == 1
+
+
+class TestChunkedDeadlineReplay:
+    def test_loop_chunk_bounds_polling(self, pair):
+        """loop_chunk=k polls the deadline once per k gradient passes;
+        an unexpiring deadline leaves the bytes bit-identical to the
+        engine regardless of cadence."""
+        orig, quant, x, y = pair
+        clock = ManualClock()
+
+        def run(chunk, use_loop):
+            atk = PGD(quant, eps=0.05, alpha=0.01, steps=9)
+            atk.loop_chunk = chunk
+            atk.use_loop = use_loop
+            n = 8
+            atk.generate(x[:n], y[:n])               # warm (loop needs it)
+            tok = DeadlineToken.for_rows([1e9] * n, clock)
+            polls = []
+            real = tok.poll
+            tok.poll = lambda rows: polls.append(len(rows)) or real(rows)
+            eps = np.full(n, atk.eps, dtype=x.dtype)
+            alpha = np.full(n, atk.alpha, dtype=x.dtype)
+            check = np.full(n, True)
+            adv = run_scheduled(atk, x[:n], y[:n], atk._init(x[:n]), eps,
+                                alpha, check, None, capacity=16,
+                                deadline=tok)
+            return adv, len(polls), atk
+
+        ref, engine_polls, _ = run(1, use_loop=False)
+        got1, polls1, a1 = run(1, use_loop=True)
+        got3, polls3, a3 = run(3, use_loop=True)
+        assert np.array_equal(ref, got1) and np.array_equal(ref, got3)
+        assert loop_ran(a1) and loop_ran(a3)
+        assert polls1 == engine_polls                # default: engine cadence
+        assert 0 < polls3 < polls1                   # chunked: fewer polls
+
+    def test_cold_deadline_takes_engine(self, pair):
+        """A deadline arriving before any loop plan exists must run the
+        engine (poll-before-build cadence) and warm nothing."""
+        orig, quant, x, y = pair
+        clock = ManualClock()
+        atk = PGD(quant, eps=0.05, alpha=0.01, steps=4)
+        n = 6
+        tok = DeadlineToken.for_rows([1e9] * n, clock)
+        eps = np.full(n, atk.eps, dtype=x.dtype)
+        alpha = np.full(n, atk.alpha, dtype=x.dtype)
+        check = np.full(n, True)
+        atk._refresh_compiled()
+        run_scheduled(atk, x[:n], y[:n], atk._init(x[:n]), eps, alpha,
+                      check, None, capacity=16, deadline=tok)
+        assert not loop_entries(atk)
+
+
+class TestServeParity:
+    def test_coalesced_dispatch_rides_the_loop(self, pair):
+        """Two compatible jobs coalesce into one recorded-loop dispatch;
+        each job's slice matches a solo engine run bit for bit."""
+        orig, quant, x, y = pair
+        session = ServeSession(capacity=32)
+        f1 = session.submit_attack(PGD(quant, eps=0.03, alpha=0.01, steps=4),
+                                   x[:6], y[:6])
+        f2 = session.submit_attack(PGD(quant, eps=0.08, alpha=0.02, steps=4),
+                                   x[6:12], y[6:12])
+        got1, got2 = f1.result(), f2.result()
+        ref1 = PGD(quant, eps=0.03, alpha=0.01, steps=4)
+        ref1.use_loop = False
+        ref2 = PGD(quant, eps=0.08, alpha=0.02, steps=4)
+        ref2.use_loop = False
+        assert np.array_equal(got1, ref1.generate(x[:6], y[:6]))
+        assert np.array_equal(got2, ref2.generate(x[6:12], y[6:12]))
+        loop = [(k, e.plan) for k, e in session.plan_cache.items()
+                if isinstance(k, tuple) and k and k[0] == "attack-loop"]
+        assert loop and loop[0][1] is not None and loop[0][1].runs > 0
+
+    def test_eager_rung_bypasses_loop(self, pair):
+        """The scheduler's eager retry rung (use_compiled forced off)
+        must not touch the loop even when its plan is warm."""
+        orig, quant, x, y = pair
+        a = PGD(quant, steps=3)
+        a.generate(x[:4], y[:4])                      # warm loop plan
+        assert loop_ran(a)
+        runs_before = loop_entries(a)[0][1].runs
+        prior = a.use_compiled
+        a.use_compiled = False
+        try:
+            got = a.generate(x[:4], y[:4])
+        finally:
+            a.use_compiled = prior
+        assert loop_entries(a)[0][1].runs == runs_before
+        b = PGD(quant, steps=3)
+        b.use_compiled = False
+        assert np.array_equal(got, b.generate(x[:4], y[:4]))
+
+
+class TestChaosParity:
+    def test_deadline_outcome_records_match_engine_under_faults(self, pair):
+        """Satellite: chunked replay honors DeadlineToken with the
+        engine's exact poll cadence — under step-latency faults the
+        looped arm and the step-at-a-time arm produce identical bytes,
+        outcomes, expired-row counts and per-row step counts."""
+        orig, quant, x, y = pair
+
+        def arm(use_loop):
+            clock = ManualClock()
+            inj = FaultInjector([FaultSpec("attack.step", "latency",
+                                           rate=1.0, delay_s=0.2)],
+                                seed=FAULT_SEED, clock=clock)
+            session = ServeSession(capacity=16, clock=clock)
+            warm = PGD(quant, steps=3)
+            warm.use_loop = use_loop
+            session.submit_attack(warm, x[:4], y[:4]).result()
+            atk = PGD(quant, steps=8)
+            atk.use_loop = use_loop
+            fut = session.submit_attack(atk, x[:4], y[:4], deadline_s=0.5)
+            with inject(inj):
+                out = fut.result()
+            return out, fut, session
+
+        out_l, fut_l, sess_l = arm(True)
+        out_e, fut_e, _ = arm(False)
+        assert fut_l.outcome == fut_e.outcome == "deadline-degraded"
+        assert np.array_equal(out_l, out_e)
+        assert fut_l.info["expired_rows"] == fut_e.info["expired_rows"]
+        assert np.array_equal(fut_l.info["steps_done"],
+                              fut_e.info["steps_done"])
+        loop = [(k, e.plan) for k, e in sess_l.plan_cache.items()
+                if isinstance(k, tuple) and k and k[0] == "attack-loop"]
+        assert loop and loop[0][1] is not None and loop[0][1].runs >= 2
