@@ -634,3 +634,170 @@ def test_float_inference_reference(benchmark, cfg, pipeline):
     x = val.x[:64]
     orig.eval()
     benchmark(lambda: orig(Tensor(x)))
+
+
+_FLOAT_COALESCE_ARM = """
+import sys, time, statistics
+import numpy as np
+from repro.nn import rowrep, set_default_dtype
+set_default_dtype(np.float32)
+from repro.models import build_model
+from repro.serve import ServeSession
+from repro.training import predict_logits
+mode = sys.argv[1]
+rng = np.random.default_rng(0)
+model = build_model("resnet", num_classes=10, width=8, seed=0)
+model.eval()
+# many small per-tenant scoring requests against one served float model
+# (the request mix the coalescer exists for)
+sizes = [5, 16, 9, 24, 7, 12, 18, 6, 21, 10, 8, 14] * 2
+batches = [rng.random((n, 3, 16, 16)).astype(np.float32) for n in sizes]
+if mode == "integer":
+    # the integer reference: the same request mix against an int8 edge
+    # artifact (feed-forward lenet; resnets are not edge-compilable),
+    # whose exact arithmetic always coalesced freely
+    from repro.edge import compile_edge
+    from repro.quantization import calibrate, prepare_qat
+    lenet = build_model("lenet", num_classes=10, in_channels=3,
+                        image_size=16, width=8, seed=1)
+    lenet.eval()
+    q = prepare_qat(lenet, weight_bits=8, act_bits=8, per_channel=True)
+    calibrate(q, np.concatenate(batches[:3], axis=0))
+    q.freeze()
+    target = compile_edge(q, 10)
+else:
+    target = model
+if mode == "sequential":
+    # per-request handling, pre-coalescing: each job scores its own rows
+    # under the row-reproducible mode (the solo float reference)
+    def fn():
+        out = []
+        for x in batches:
+            with rowrep.row_reproducible():
+                out.append(predict_logits(model, x))
+        return out
+else:
+    session = ServeSession(capacity=64)
+    def fn():
+        futs = [session.submit_predict(target, x) for x in batches]
+        return [f.result() for f in futs]
+fn()    # warm plans and BLAS caches
+times = []
+for _ in range(7):
+    t0 = time.perf_counter()
+    fn()
+    times.append(time.perf_counter() - t0)
+print(statistics.median(times))
+"""
+
+
+def _float_coalesce_arm_seconds(mode):
+    """Median seconds to serve one float-predict burst in its own
+    process (same isolation rationale as the train-step arms)."""
+    import subprocess
+    import sys
+    out = subprocess.run([sys.executable, "-c", _FLOAT_COALESCE_ARM, mode],
+                         capture_output=True, text=True, check=True)
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def test_float_coalesce(benchmark):
+    """Float-predict burst (24 small jobs, one resnet) served coalesced
+    vs each job alone — the float analogue of ``test_serve_throughput``.
+
+    Float coalescing was impossible before the row-reproducible GEMM
+    mode: BLAS per-row bits change with batch composition, so merging
+    tenants' rows changed results.  With the mode on, the coalesced arm
+    merges every compatible job into shared compiled passes; the
+    sequential arm runs each job's rows alone under the same mode (the
+    bit-reference).  The ``integer`` arm serves the identical request
+    mix against an int8 edge artifact (feed-forward lenet) — the
+    exact-arithmetic path whose coalescing freedom the float path now
+    matches.  Per-job bytes are asserted identical across
+    coalesced/solo/sequential in-process below.
+    """
+    from repro.models import build_model
+    from repro.nn import rowrep
+    from repro.serve import ServeSession
+    from repro.training import predict_logits
+
+    seq_s = _float_coalesce_arm_seconds("sequential")
+    co_s = _float_coalesce_arm_seconds("coalesced")
+    int_s = _float_coalesce_arm_seconds("integer")
+
+    # in-process hard parity gate: coalesced == solo == sequential rr
+    rng = np.random.default_rng(0)
+    model = build_model("resnet", num_classes=10, width=8, seed=0)
+    model.eval()
+    batches = [rng.random((n, 3, 16, 16)).astype(np.float32)
+               for n in (5, 16, 9, 24)]
+    refs = []
+    for x in batches:
+        with rowrep.row_reproducible():
+            refs.append(predict_logits(model, x))
+    for coalesce in (True, False):
+        session = ServeSession(capacity=64, float_coalesce=coalesce)
+        futs = [session.submit_predict(model, x) for x in batches]
+        for ref, fut in zip(refs, futs):
+            np.testing.assert_array_equal(fut.result(), ref)
+
+    session = ServeSession(capacity=64)
+
+    def burst():
+        futs = [session.submit_predict(model, x) for x in batches]
+        return [f.result() for f in futs]
+
+    burst()
+    benchmark(burst)
+    benchmark.extra_info["float_jobs"] = 24
+    benchmark.extra_info["float_rows"] = sum(
+        [5, 16, 9, 24, 7, 12, 18, 6, 21, 10, 8, 14] * 2)
+    benchmark.extra_info["float_sequential_ms"] = seq_s * 1e3
+    benchmark.extra_info["float_coalesced_ms"] = co_s * 1e3
+    benchmark.extra_info["float_integer_ms"] = int_s * 1e3
+    benchmark.extra_info["float_coalesce_speedup"] = seq_s / co_s
+
+
+def test_rowrep_gemm_overhead(benchmark):
+    """Fixed-order blocked accumulation vs raw BLAS at the serving
+    GEMM shape (full 256-row blocks, classifier-head fan-out).
+
+    The row-reproducible mode buys composition-independent bits by
+    pinning the accumulation order; this measures what that costs when
+    the blocking is respected (coalesced dispatches always are — the
+    scheduler merges small jobs into full blocks).  Ragged sub-block
+    batches pay more (tail padding), which is exactly the cost
+    coalescing amortizes away.
+    """
+    from repro.nn import rowrep
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((2 * rowrep.ROW_BLOCK, 512)).astype(np.float32)
+    b = rng.standard_normal((512, 10)).astype(np.float32)
+    out = np.empty((len(a), 10), dtype=np.float32)
+
+    def raw():
+        np.matmul(a, b, out=out)
+
+    def rr():
+        rowrep.rr_matmul(a, b, out=out)
+
+    raw(), rr()                              # warm scratch + BLAS caches
+    reps, chunk = 30, 20
+
+    def median_s(fn):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            for _ in range(chunk):
+                fn()
+            times.append((time.perf_counter() - t0) / chunk)
+        times.sort()
+        return times[len(times) // 2]
+
+    raw_s = median_s(raw)
+    rr_s = median_s(rr)
+    benchmark(rr)
+    benchmark.extra_info["rowrep_rows"] = len(a)
+    benchmark.extra_info["rowrep_raw_ns"] = raw_s * 1e9
+    benchmark.extra_info["rowrep_rr_ns"] = rr_s * 1e9
+    benchmark.extra_info["rowrep_overhead_pct"] = (rr_s / raw_s - 1) * 100

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn import rowrep
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 from .engine import SCHEDULER_KEYS, _per_item, run_scheduled
@@ -285,7 +286,8 @@ class Attack:
         # inputs, so a float64 tenant hitting a float32 plan in a shared
         # cache would silently drop precision
         return self.plan_cache.get(
-            (id(model), x.shape[1:], x.dtype.str), (model,),
+            (id(model), x.shape[1:], x.dtype.str, rowrep.mode_key()),
+            (model,),
             lambda: compile_model(model, x[:_COMPILE_EXAMPLE_ROWS]),
             scope=self)
 
@@ -303,7 +305,8 @@ class Attack:
             return PairedExecutor.compile(models, x[:_COMPILE_EXAMPLE_ROWS])
 
         return self.plan_cache.get(
-            (tuple(id(m) for m in models), x.shape[1:], x.dtype.str),
+            (tuple(id(m) for m in models), x.shape[1:], x.dtype.str,
+             rowrep.mode_key()),
             tuple(models), _build, scope=self)
 
     def _plan_owners(self) -> Optional[List]:

@@ -329,8 +329,10 @@ def try_run_loop(attack, x, y, adv, eps, alpha, check, params, capacity: int,
     # keyed like the model plans: per attack type and model identity, so
     # shape-twin attacks in a shared session cache never thrash one
     # entry, and each attack type's loop composition validates once
+    from ..nn import rowrep
     key = (_LOOP_TAG, type(attack).__qualname__,
-           tuple(id(o) for o in owners), x.shape[1:], x.dtype.str)
+           tuple(id(o) for o in owners), x.shape[1:], x.dtype.str,
+           rowrep.mode_key())
     if deadline is not None and key not in attack.plan_cache:
         return None
     spec = spec_fn(x)

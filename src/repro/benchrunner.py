@@ -34,7 +34,8 @@ from typing import Optional
 FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
                      "or eager_forward or attack_step or attack_sweep "
                      "or attack_loop or train_step or distill_epoch "
-                     "or edge_infer or serve_throughput")
+                     "or edge_infer or serve_throughput "
+                     "or float_coalesce or rowrep_gemm")
 
 
 def repo_root() -> Path:
@@ -90,6 +91,8 @@ def summarize(raw: dict, sha: str) -> dict:
     distill = {}
     edge = {}
     serve = {}
+    float_coalesce = {}
+    rowrep_gemm = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
         if "[" in bench["name"]:        # parametrized: keep the variant tag
@@ -145,6 +148,22 @@ def summarize(raw: dict, sha: str) -> dict:
                 "dispatches": extra["serve_dispatches"],
                 "coalesced_dispatches": extra["serve_coalesced"],
             }
+        if "float_coalesce_speedup" in extra:
+            float_coalesce = {
+                "jobs": extra["float_jobs"],
+                "rows": extra["float_rows"],
+                "sequential_ms": extra["float_sequential_ms"],
+                "coalesced_ms": extra["float_coalesced_ms"],
+                "integer_reference_ms": extra["float_integer_ms"],
+                "speedup": extra["float_coalesce_speedup"],
+            }
+        if "rowrep_overhead_pct" in extra:
+            rowrep_gemm = {
+                "rows": extra["rowrep_rows"],
+                "raw_ns": extra["rowrep_raw_ns"],
+                "rr_ns": extra["rowrep_rr_ns"],
+                "overhead_pct": extra["rowrep_overhead_pct"],
+            }
         if "edge_infer_speedup" in extra:
             edge = {
                 "model": extra["model"],
@@ -174,6 +193,8 @@ def summarize(raw: dict, sha: str) -> dict:
         "distill_epoch": distill,
         "edge_infer": edge,
         "serve_throughput": serve,
+        "float_coalesce": float_coalesce,
+        "rowrep_gemm": rowrep_gemm,
     }
 
 
@@ -232,6 +253,17 @@ def main(argv: Optional[list] = None) -> int:
         print(f"  serve throughput ({s['jobs']} mixed jobs, {s['rows']} "
               f"rows) {s['speedup']:.2f}x coalesced vs sequential "
               f"({s['sequential_ms']:.1f} -> {s['serve_ms']:.1f} ms)")
+    if summary["float_coalesce"]:
+        f = summary["float_coalesce"]
+        print(f"  float coalescing ({f['jobs']} predict jobs, {f['rows']} "
+              f"rows) {f['speedup']:.2f}x vs sequential "
+              f"({f['sequential_ms']:.1f} -> {f['coalesced_ms']:.1f} ms; "
+              f"int8 reference {f['integer_reference_ms']:.1f} ms)")
+    if summary["rowrep_gemm"]:
+        r = summary["rowrep_gemm"]
+        print(f"  row-reproducible GEMM overhead "
+              f"{r['overhead_pct']:+.1f}% vs raw BLAS "
+              f"({r['rows']} rows, full blocks)")
     return 0
 
 

@@ -66,15 +66,18 @@ def _run_serve(args) -> int:
     spec = (load_workload(args.workload) if args.workload
             else mixed_workload_spec(scale=1 if args.smoke else 2,
                                      seed=args.seed))
+    float_coalesce = args.float_coalesce != "off"
     print(f"=== serve: workload {spec['name']} "
-          f"({len(spec['jobs'])} jobs) ===")
+          f"({len(spec['jobs'])} jobs, float coalescing "
+          f"{'on' if float_coalesce else 'off'}) ===")
     t0 = time.time()
     if args.faults:
         from ..serve import chaos_replay
         out = chaos_replay(build_workload(spec), capacity=args.capacity,
                            seed=args.fault_seed,
                            deadline_s=(args.deadline_ms / 1e3
-                                       if args.deadline_ms else None))
+                                       if args.deadline_ms else None),
+                           float_coalesce=float_coalesce)
         print(f"  chaos OK: every surviving job bit-identical, every "
               f"refusal structured (fault seed {args.fault_seed})")
         breakdown = ", ".join(f"{k}={v}" for k, v in
@@ -92,7 +95,8 @@ def _run_serve(args) -> int:
               f"{out['admission']['rejected']} rejected / "
               f"{out['admission']['shed']} shed")
     else:
-        out = verify_parity(build_workload(spec), capacity=args.capacity)
+        out = verify_parity(build_workload(spec), capacity=args.capacity,
+                            float_coalesce=float_coalesce)
         print(f"  parity OK: every job bit-identical to its solo run")
         print(f"  sequential {out['sequential_s'] * 1e3:8.1f} ms  "
               f"({out['rows']} rows, {out['jobs']} jobs)")
@@ -136,6 +140,13 @@ def main(argv=None) -> int:
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="serve: per-job deadline in milliseconds for "
                              "--faults replays (manual-clock time)")
+    parser.add_argument("--float-coalesce", choices=("on", "off"),
+                        default="on",
+                        help="serve: coalesce float-predict jobs (and mix "
+                             "them into attack dispatch rounds) under the "
+                             "row-reproducible GEMM mode; 'off' serves "
+                             "every float job solo (the parity gate runs "
+                             "either way)")
     args = parser.parse_args(argv)
 
     set_default_dtype("float32")

@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from . import rowrep
 from . import tensor as _tensor
 from .functional import (_col2im, _col2im_flat, _col2im_xpad,
                          _conv_dcols_grouped, _conv_depthwise_fwd,
@@ -138,7 +139,11 @@ def compile_forward_cached(module, example, cache=None):
     """
     cache = cache if cache is not None else default_plan_cache()
     example = np.asarray(example)
-    key = ("nn-forward", id(module), example.shape[1:], example.dtype.str)
+    # mode-keyed: row-reproducible plans bake the fixed-order GEMM into
+    # their kernel closures at build time, so the two modes' plans for
+    # one (module, shape, dtype) are distinct cache entries
+    key = ("nn-forward", id(module), example.shape[1:], example.dtype.str,
+           rowrep.mode_key())
     hit_before = key in cache
     plan = cache.get(key, (module,),
                      lambda: compile_forward_or_none(module, example))
@@ -286,6 +291,21 @@ def compile_forward(module: Callable[[Tensor], Tensor],
     prog = CompiledForward(tracer, out_id, x, pool=pool)
     if validate:
         prog._validate(module, x)
+        if rowrep.enabled() and len(x) > 1:
+            # row-reproducible plans additionally bit-validate against
+            # per-row execution: every probe row replayed alone must
+            # equal its full-batch bits, forward and input gradient —
+            # the property that makes coalescing float traffic (and
+            # degradation down the serve ladder) value-neutral
+            def _grad(xb):
+                _, gx = prog.value_and_input_grad(
+                    xb, lambda o: np.ones_like(o))
+                return gx.copy()
+            if not (rowrep.validate_per_row(prog.replay, x)
+                    and rowrep.validate_per_row(_grad, x)):
+                raise GraphUnsupported(
+                    "compiled forward is not row-reproducible "
+                    "(per-row bits change with batch composition)")
     return prog
 
 
@@ -397,7 +417,15 @@ class _Program:
             for key in ("wmat", "wmat_g", "w2", "w2T"):
                 ctx.pop(key, None)
         for op in self._const_ops:
-            env[op.out] = _eval_const(op, env)
+            val = _eval_const(op, env)
+            if val.dtype.kind == "f" and val.dtype != self._dtype:
+                # the eager tape wraps every op result in a Tensor,
+                # which casts to the session dtype — mirror it, or a
+                # folded float64 intermediate (fake_quant's dequantize
+                # round trip) promotes the downstream BLAS calls and
+                # drifts off the tape by ulps
+                val = val.astype(self._dtype)
+            env[op.out] = val
 
     # -- replay --------------------------------------------------------- #
     def _check_input(self, x: np.ndarray) -> np.ndarray:
@@ -809,6 +837,13 @@ def _f_matmul(prog, op):
     env = prog._env
     if len(op.in_shapes[0]) < 2 or len(op.in_shapes[1]) < 2:
         raise GraphUnsupported("vector matmul is not replayable")
+    # the row-reproducible mode is baked into the plan at build time
+    # (plan-cache keys carry rowrep.mode_key(), so a plan can never be
+    # replayed under the other mode's bits)
+    if (rowrep.enabled() and len(op.in_shapes[0]) == 2
+            and len(op.in_shapes[1]) == 2):
+        return _ufunc_fwd(prog, op,
+                          lambda out: rowrep.rr_matmul(env[a], env[b], out=out))
     return _ufunc_fwd(prog, op, lambda out: np.matmul(env[a], env[b], out=out))
 
 
@@ -818,12 +853,18 @@ def _b_matmul(prog, op):
     var = prog._var_set
     env = prog._env
     sa, sb = op.in_shapes
+    # input-gradient leg (rows of g against a fixed right operand): per
+    # row, so it takes the fixed-order kernel when the plan was built
+    # in row-reproducible mode; the b-side (weight-style) gradient
+    # reduces over the batch and is never per-row
+    rr = rowrep.enabled() and len(sa) == 2 and len(sb) == 2
 
-    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb):
+    def run(g, genv, gowned, n, a=a, b=b, sa=sa, sb=sb, rr=rr):
         if a in var:
+            bt = np.swapaxes(env[b], -1, -2)
+            ga = rowrep.rr_matmul(g, bt) if rr else g @ bt
             _gacc(genv, gowned, a,
-                  _unbroadcast(g @ np.swapaxes(env[b], -1, -2),
-                               _grad_target_shape(prog, sa, n)), True)
+                  _unbroadcast(ga, _grad_target_shape(prog, sa, n)), True)
         if b in var:
             _gacc(genv, gowned, b,
                   _unbroadcast(np.swapaxes(env[a], -1, -2) @ g,

@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import rowrep
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
 _DEFAULT_DTYPE = np.float64
@@ -315,14 +317,21 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data @ other.data, (self, other))
+        # rowrep.matmul is the row-reproducible kernel seam: a plain
+        # `@` when the mode is off, the fixed-order blocked GEMM when
+        # on (per-row bits then independent of the batch composition)
+        out = self._make(rowrep.matmul(self.data, other.data), (self, other))
         if out.requires_grad:
             def _bw(g, a=self, b=other):
                 if a.requires_grad:
                     if b.data.ndim == 1:
                         ga = np.outer(g, b.data) if a.data.ndim == 2 else g * b.data
                     else:
-                        ga = g @ np.swapaxes(b.data, -1, -2)
+                        # the input-gradient leg is per-row too (rows of
+                        # g against a fixed weight), so it rides the
+                        # same seam; the weight-gradient leg below
+                        # reduces over the batch and stays raw
+                        ga = rowrep.matmul(g, np.swapaxes(b.data, -1, -2))
                     a._accumulate(_unbroadcast(ga, a.shape), owned=True)
                 if b.requires_grad:
                     if a.data.ndim == 1:

@@ -26,6 +26,11 @@ arr)`` call that is a no-op unless an injector is installed:
 ``dispatch.attack``     scheduler attack dispatch (compiled rungs only).
 ``dispatch.predict``    scheduler inference dispatch (compiled rungs
                         only).
+``dispatch.predict_float``
+                        scheduler float-inference dispatch (compiled
+                        rungs only) — an error fault quarantines the
+                        coalesced float key and walks members down the
+                        ladder.
 ``attack.step``         between compiled attack steps (fired by
                         :meth:`DeadlineToken.poll <repro.serve.
                         resilience.DeadlineToken.poll>`) — latency
@@ -255,6 +260,7 @@ def default_chaos_specs(deadline_pressure: bool = True) -> List[FaultSpec]:
         FaultSpec("edge.dispatch", "error", rate=0.3, max_fires=1),
         FaultSpec("dispatch.attack", "error", rate=0.25, max_fires=2),
         FaultSpec("dispatch.predict", "error", rate=0.25, max_fires=1),
+        FaultSpec("dispatch.predict_float", "error", rate=0.25, max_fires=1),
         FaultSpec("queue.tick", "latency", rate=1.0, delay_s=0.02),
     ]
     if deadline_pressure:

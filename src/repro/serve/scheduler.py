@@ -20,9 +20,14 @@ gradient batches through machinery that is just as happy with 64).
   ``c``) never block coalescing because
   :func:`~repro.attacks.engine.run_scheduled` already takes them as
   per-row vectors.  Edge-inference jobs coalesce per
-  :class:`~repro.edge.engine.EdgeModel`.  Everything else (NES and
-  momentum attacks with full-batch RNG/velocity state, attacks with no
-  signature) runs solo.
+  :class:`~repro.edge.engine.EdgeModel`.  Float-model inference jobs
+  (``predict_float``) coalesce per (model, shape, dtype) under the
+  row-reproducible GEMM mode, and also ride along with attack groups
+  targeting the same models (mixed traffic shares the dispatch round).
+  Everything else (NES and momentum attacks with full-batch
+  RNG/velocity state, attacks with no signature, float predicts with
+  coalescing disabled) runs solo — with the reason recorded on its
+  :class:`DispatchRecord`, never silently serialized.
 - **arrival-order dispatch (no starvation)** — the dispatch loop always
   takes the *oldest pending job* as the head of the next batch and then
   folds in every other pending compatible job up to ``max_batch_rows``.
@@ -35,8 +40,11 @@ gradient batches through machinery that is just as happy with 64).
   parameter vectors into one ``run_scheduled`` call, each job's own
   ``_init`` for its rows), and per-sample trajectories depend only on
   that sample's own gradients; merged edge batches ride the integer
-  path, which is exact per row.  Both are bit-identical to running each
-  job alone — the scheduler may only change wall-time, never bytes.
+  path, which is exact per row; merged float batches run under
+  :func:`repro.nn.rowrep.row_reproducible`, whose fixed-order blocked
+  accumulation makes each row's float bits independent of batch
+  composition.  All are bit-identical to running each job alone — the
+  scheduler may only change wall-time, never bytes.
 
 Failure handling runs down the **degradation ladder**
 (:data:`~repro.serve.resilience.LADDER`): a dispatch that raises at the
@@ -63,6 +71,8 @@ import numpy as np
 
 from ..attacks.base import Attack
 from ..attacks.engine import run_scheduled
+from ..nn import rowrep
+from ..nn.tensor import Tensor
 from . import faults
 from .resilience import (EAGER_LEVEL, CircuitBreaker, Clock, DeadlineToken,
                          JobError, ServeError)
@@ -129,15 +139,16 @@ class JobFuture:
 class Job:
     """One queued request (attack or inference) plus its future."""
 
-    kind: str                       # "attack" | "predict"
+    kind: str                       # "attack" | "predict" | "predict_float"
     seq: int
     x: np.ndarray
     future: JobFuture
     y: Optional[np.ndarray] = None
     attack: Optional[Attack] = None
-    model: Any = None               # EdgeModel for "predict" jobs
+    model: Any = None               # EdgeModel / float Module for inference
     tenant: Any = None              # admission-quota identity
     deadline: Optional[float] = None   # absolute clock time, or None
+    solo_reason: Optional[str] = None  # why the job could not coalesce
 
     @property
     def rows(self) -> int:
@@ -156,21 +167,68 @@ class DispatchRecord:
     rows: int
     level: int = 0
     retry: bool = False
+    reason: Optional[str] = None    # solo attribution, never a silent path
     coalesced: bool = field(init=False)
 
     def __post_init__(self):
         self.coalesced = len(self.seqs) > 1
 
 
-def _group_key(job: Job):
-    """Compatibility key; a unique key (by ``seq``) means "runs solo"."""
+def _group_key(job: Job, float_coalesce: bool = True):
+    """Compatibility key; a unique key (by ``seq``) means "runs solo".
+
+    Solo keys always set ``job.solo_reason`` — a job that cannot
+    coalesce dispatches solo *with attribution* (surfaced on its
+    :class:`DispatchRecord`), never silently serializes.  Float-predict
+    keys embed the row-reproducible mode (``("rr", ROW_BLOCK)``): only
+    the fixed-order GEMM makes per-row float bits independent of batch
+    composition, so only under that mode is coalescing value-neutral.
+    """
     if job.kind == "predict":
         return ("predict", id(job.model), job.x.shape[1:], job.x.dtype.str)
+    if job.kind == "predict_float":
+        if job.x.dtype.kind != "f":
+            job.solo_reason = "non-float input on float-predict path"
+            return ("solo", job.seq)
+        if not float_coalesce:
+            job.solo_reason = "float-coalesce-disabled"
+            return ("solo", job.seq)
+        return ("predict_float", id(job.model), job.x.shape[1:],
+                job.x.dtype.str, ("rr", rowrep.ROW_BLOCK))
     atk = job.attack
     sig = atk.serve_signature()
     if sig is None or not atk.shrink_done:
+        job.solo_reason = ("full-batch gradient state" if sig is not None
+                          else "no serve signature")
         return ("solo", job.seq)
     return ("attack", sig, job.x.shape[1:], job.x.dtype.str)
+
+
+def _float_forward(model: Any, xs: np.ndarray, batch_size: int,
+                   executor: Any) -> np.ndarray:
+    """Chunked eval-mode float forward with **no** auto-compile.
+
+    The eager ladder rung must stay the pure-tape reference — letting
+    ``predict_logits`` silently re-enter the compiled path for large
+    batches would make "eager" mean "compiled sometimes", which is
+    exactly the attribution ambiguity the ladder exists to rule out.
+    Chunking is irrelevant to bits here because every caller wraps this
+    in :func:`repro.nn.rowrep.row_reproducible`.
+    """
+    was_training = getattr(model, "training", False)
+    model.eval()
+    try:
+        outs = []
+        for start in range(0, len(xs), batch_size):
+            xb = xs[start:start + batch_size]
+            if executor is not None:
+                outs.append(executor.replay(xb))
+            else:
+                outs.append(model(Tensor(xb)).data.copy())
+        return np.concatenate(outs, axis=0)
+    finally:
+        if was_training:
+            model.train()
 
 
 class Scheduler:
@@ -196,18 +254,28 @@ class Scheduler:
     breaker:
         The per-key quarantine.  Shared with the owning session so its
         stats surface on ``ServeSession.stats()``.
+    float_coalesce:
+        When True (default), float-predict jobs coalesce per (model,
+        shape, dtype) under the row-reproducible GEMM mode, and mixed
+        traffic rides along: a float-predict job whose model belongs to
+        an attack group head's plan owners joins that head's dispatch
+        round (sharing the session plan cache and round latency).  When
+        False every float-predict job runs solo — attributed on its
+        :class:`DispatchRecord`, never silently serialized.
     """
 
     def __init__(self, capacity: int = 64, max_batch_rows: int = 512,
                  predict_batch: int = 256,
                  clock: Optional[Clock] = None,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 float_coalesce: bool = True):
         if capacity < 1 or max_batch_rows < 1 or predict_batch < 1:
             raise ValueError("capacity, max_batch_rows and predict_batch "
                              "must be >= 1")
         self.capacity = int(capacity)
         self.max_batch_rows = int(max_batch_rows)
         self.predict_batch = int(predict_batch)
+        self.float_coalesce = bool(float_coalesce)
         self.clock = clock if clock is not None else Clock()
         self.breaker = (breaker if breaker is not None
                         else CircuitBreaker(clock=self.clock))
@@ -254,14 +322,26 @@ class Scheduler:
         while self.pending:
             faults.fire("queue.tick")
             head = self.pending.popleft()
-            key = _group_key(head)
+            key = _group_key(head, self.float_coalesce)
             group = [head]
             rows = head.rows
             if key[0] != "solo":
+                # an attack-headed group also absorbs float-predict
+                # "riders" against the attack's own models: mixed
+                # traffic shares the dispatch round (and the session
+                # plan cache) instead of waiting behind it
+                owners: Tuple[Any, ...] = ()
+                if key[0] == "attack" and self.float_coalesce:
+                    owners = tuple(head.attack._plan_owners())
                 kept: List[Job] = []
                 for job in self.pending:
-                    if (_group_key(job) == key
-                            and rows + job.rows <= self.max_batch_rows):
+                    fits = rows + job.rows <= self.max_batch_rows
+                    if fits and _group_key(job, self.float_coalesce) == key:
+                        group.append(job)
+                        rows += job.rows
+                    elif (fits and owners and job.kind == "predict_float"
+                            and job.x.dtype.kind == "f"
+                            and any(job.model is m for m in owners)):
                         group.append(job)
                         rows += job.rows
                     else:
@@ -287,7 +367,8 @@ class Scheduler:
         if start == 0:
             self.dispatch_log.append(DispatchRecord(
                 key, tuple(j.seq for j in group),
-                sum(j.rows for j in group), level=0))
+                sum(j.rows for j in group), level=0,
+                reason=group[0].solo_reason if len(group) == 1 else None))
             try:
                 self._dispatch(kind, group, level=0)
                 self.breaker.record_success(key, 0)
@@ -304,12 +385,17 @@ class Scheduler:
         """Walk one job down the ladder from ``level`` until a rung
         succeeds or the eager floor fails too.  Each failed rung's
         exception is chained behind the next (``__cause__``), so the
-        terminal error explains the whole descent."""
+        terminal error explains the whole descent.  Jobs already
+        settled by a partially-successful mixed dispatch (their kind's
+        sub-dispatch resolved before another kind's raised) are done —
+        re-running them would double-spend the pass."""
+        if job.future.done:
+            return
         while True:
             level = min(level, EAGER_LEVEL)
             self.dispatch_log.append(DispatchRecord(
                 key, (job.seq,), job.rows, level=level,
-                retry=cause is not None))
+                retry=cause is not None, reason=job.solo_reason))
             try:
                 self._dispatch(kind, [job], level=level)
                 self.breaker.record_success(key, level)
@@ -326,11 +412,19 @@ class Scheduler:
                 level += 1
 
     def _dispatch(self, kind: str, group: List[Job], level: int) -> None:
+        # mixed groups (attack head + float-predict riders) partition by
+        # kind: each sub-dispatch resolves its own jobs, so a failure in
+        # one kind walks only the unresolved members down the ladder
         compiled = level < EAGER_LEVEL
-        if kind == "predict":
-            self._dispatch_predict(group, compiled=compiled)
-        else:
-            self._dispatch_attack(group, compiled=compiled)
+        attacks = [j for j in group if j.kind == "attack"]
+        predicts = [j for j in group if j.kind == "predict"]
+        floats = [j for j in group if j.kind == "predict_float"]
+        if attacks:
+            self._dispatch_attack(attacks, compiled=compiled)
+        if predicts:
+            self._dispatch_predict(predicts, compiled=compiled)
+        if floats:
+            self._dispatch_predict_float(floats, compiled=compiled)
 
     # -- attack batches -------------------------------------------------- #
     def _dispatch_attack(self, group: List[Job], compiled: bool = True) -> None:
@@ -448,3 +542,58 @@ class Scheduler:
             # caller keeps its small slice)
             self.settle(job, value=out[start:start + job.rows].copy())
             start += job.rows
+
+    # -- float inference batches ------------------------------------------ #
+    def _dispatch_predict_float(self, group: List[Job],
+                                compiled: bool = True) -> None:
+        """Merged float rows through one shared row-reproducible pass.
+
+        Unlike the integer edge path, a float GEMM's per-row bits depend
+        on batch composition under BLAS (kernel/blocking selection keys
+        off the row count), so naive merging would change results.  The
+        whole dispatch therefore runs under
+        :func:`repro.nn.rowrep.row_reproducible`: every matmul uses the
+        fixed-order blocked accumulation, making each row's bits a
+        function of that row and the weights alone.  With the mode on,
+        coalesced-compiled == solo-compiled == eager per row (compiled
+        plans are bit-validated against per-row execution at build
+        time), so the degradation ladder is byte-neutral for float
+        predicts exactly as it is for attacks and edge inference.
+
+        Mixed groups may carry riders against several models / input
+        shapes; each (model, shape, dtype) partition runs one shared
+        pass.  Compiled rungs look up plans in the model's adopted
+        session :class:`~repro.serve.cache.PlanCache` (falling back to
+        the process-wide store), where row-reproducible plans are keyed
+        apart from unconstrained ones by ``rowrep.mode_key()``; a plan
+        that fails to build pins None and the pass runs the eager tape —
+        bit-identical under the mode, per the shared fallback contract.
+        Deadlines are ignored as in :meth:`_dispatch_predict`: a single
+        pass has no partial result to return.
+        """
+        if compiled:
+            faults.fire("dispatch.predict_float")
+        from ..nn.graph import compile_forward_cached
+        parts: Dict[Any, List[Job]] = {}
+        for job in group:
+            parts.setdefault(
+                (id(job.model), job.x.shape[1:], job.x.dtype.str),
+                []).append(job)
+        with rowrep.row_reproducible():
+            for members in parts.values():
+                model = members[0].model
+                xs = np.concatenate([j.x for j in members], axis=0)
+                executor = None
+                if compiled:
+                    # 8 example rows, like Attack's executor cache: the
+                    # plan replays any batch size, and the memo key only
+                    # uses shape[1:]/dtype/mode
+                    executor = compile_forward_cached(
+                        model, xs[:8],
+                        cache=getattr(model, "plan_cache", None))
+                out = _float_forward(model, xs, self.predict_batch, executor)
+                start = 0
+                for job in members:
+                    self.settle(job,
+                                value=out[start:start + job.rows].copy())
+                    start += job.rows

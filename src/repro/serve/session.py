@@ -81,6 +81,12 @@ class ServeSession:
         Shared time source for deadlines and every cool-down; pass a
         :class:`~repro.serve.resilience.ManualClock` for deterministic
         chaos tests.
+    float_coalesce:
+        Whether float-model inference jobs may coalesce (and ride along
+        with attack groups) under the row-reproducible GEMM mode; off,
+        they dispatch solo with the reason on their
+        :class:`~repro.serve.scheduler.DispatchRecord` (see
+        :class:`~repro.serve.scheduler.Scheduler`).
     """
 
     def __init__(self, capacity: int = 64,
@@ -94,7 +100,8 @@ class ServeSession:
                  default_deadline_s: Optional[float] = None,
                  quarantine_cooldown_s: float = 5.0,
                  failure_cooldown_s: Optional[float] = None,
-                 clock: Optional[Clock] = None):
+                 clock: Optional[Clock] = None,
+                 float_coalesce: bool = True):
         self.clock = clock if clock is not None else Clock()
         self.plan_cache = (plan_cache if plan_cache is not None
                            else PlanCache(budget_bytes=budget_bytes,
@@ -112,7 +119,8 @@ class ServeSession:
                                    max_batch_rows=max_batch_rows,
                                    predict_batch=predict_batch,
                                    clock=self.clock,
-                                   breaker=self.breaker)
+                                   breaker=self.breaker,
+                                   float_coalesce=float_coalesce)
 
     # -- submission ------------------------------------------------------ #
     def _adopt(self, obj: Any) -> None:
@@ -199,7 +207,16 @@ class ServeSession:
 
     def submit_predict(self, model, x: np.ndarray, tenant: Any = None
                        ) -> JobFuture:
-        """Queue one plain :meth:`EdgeModel.predict` inference job.
+        """Queue one inference job (edge or float model).
+
+        ``model`` is either an :class:`~repro.edge.engine.EdgeModel`
+        (anything with a ``predict`` method — exact integer path,
+        coalesces freely) or a float :class:`~repro.nn.module.Module`
+        scored by forward logits.  Float jobs resolve to exactly what
+        ``predict_logits(model, x)`` under
+        :func:`repro.nn.rowrep.row_reproducible` returns — the mode is
+        what makes their per-row bits independent of how the scheduler
+        batches them.
 
         Inference takes no deadline: it is a single pass with no
         intermediate iterate, so there is no meaningful partial result
@@ -209,8 +226,9 @@ class ServeSession:
         if len(x) == 0:
             raise ValueError("predict job needs at least one row")
         self._adopt(model)
+        kind = "predict" if hasattr(model, "predict") else "predict_float"
         future = JobFuture(self.drain)
-        return self._admit(Job(kind="predict", seq=-1, x=x, future=future,
+        return self._admit(Job(kind=kind, seq=-1, x=x, future=future,
                                model=model, tenant=tenant))
 
     # -- execution ------------------------------------------------------- #

@@ -40,6 +40,13 @@ Job kinds and their materialization:
 ``predict``  plain :meth:`EdgeModel.predict
              <repro.edge.engine.EdgeModel.predict>` on the workload's
              int8 edge artifact.
+``predict_float``
+             float logits from the workload's *adapted* model (the
+             attack target itself), scored under
+             :func:`repro.nn.rowrep.row_reproducible` so per-row bits
+             are batch-composition independent; coalesces with other
+             float predicts and rides along with attack groups against
+             the same model (mixed traffic on shared passes).
 ===========  ==========================================================
 
 Doctest — specs are plain data and round-trip through JSON::
@@ -49,7 +56,7 @@ Doctest — specs are plain data and round-trip through JSON::
     >>> spec == json.loads(json.dumps(spec))
     True
     >>> sorted({j["kind"] for j in spec["jobs"]})
-    ['cw', 'diva', 'fgsm', 'nes', 'pgd', 'predict']
+    ['cw', 'diva', 'fgsm', 'nes', 'pgd', 'predict', 'predict_float']
 """
 
 from __future__ import annotations
@@ -88,14 +95,17 @@ def mixed_workload_spec(scale: int = 2, seed: int = 0) -> Dict[str, Any]:
             {"kind": "diva", "rows": 6, "c": c_grid[i % 3], "eps": e},
             {"kind": "predict", "rows": 24},
             {"kind": "pgd", "rows": 6, "eps": e},
+            {"kind": "predict_float", "rows": 12},
             {"kind": "diva", "rows": 4, "c": c_grid[(i + 1) % 3]},
             {"kind": "fgsm", "rows": 8, "eps": e},
             {"kind": "predict", "rows": 16},
             {"kind": "cw", "rows": 4, "kappa": 0.0},
+            {"kind": "predict_float", "rows": 20},
             {"kind": "diva", "rows": 6, "eps": eps_grid[(i + 2) % 3]},
             {"kind": "nes", "rows": 2, "steps": 3, "n_samples": 2},
             {"kind": "pgd", "rows": 4, "alpha": 2 / 255},
             {"kind": "predict", "rows": 24},
+            {"kind": "predict_float", "rows": 8},
             {"kind": "cw", "rows": 4, "kappa": 0.0},
         ]
     return {
@@ -213,6 +223,15 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
             jobs.append(MaterializedJob(kind, x, None, None, model=edge,
                                         tenant=tenant, deadline_s=deadline_s))
             continue
+        if kind == "predict_float":
+            # float inference against the attack target itself: the
+            # shape of monitoring/scoring traffic interleaved with
+            # attack probes, and the mixed-coalescing rider case
+            x = rng.random((rows, 3, am["image_size"], am["image_size"]),
+                           ).astype(np.float32)
+            jobs.append(MaterializedJob(kind, x, None, None, model=adapted,
+                                        tenant=tenant, deadline_s=deadline_s))
+            continue
         x = rng.random((rows, 3, am["image_size"], am["image_size"]),
                        ).astype(np.float32)
         y = predict_labels(original, x)
@@ -254,14 +273,25 @@ def replay_sequential(workload: Workload) -> Dict[str, Any]:
 
     Every attack job gets a fresh instance from its factory (distinct
     requests hold distinct configurations; nothing is shared but the
-    models themselves), and inference jobs call ``predict`` on their own
-    rows only — exactly what a naive per-request handler would do.
+    models themselves), and inference jobs call ``predict`` (edge) or a
+    row-reproducible ``predict_logits`` (float) on their own rows only —
+    exactly what a naive per-request handler would do.
     """
+    from ..nn import rowrep
+    from ..training.evaluate import predict_logits
+
     results = []
     t0 = time.perf_counter()
     for job in workload.jobs:
         if job.kind == "predict":
             results.append(job.model.predict(job.x))
+        elif job.kind == "predict_float":
+            # the solo float reference runs under the same
+            # row-reproducible mode the scheduler uses: the mode is the
+            # *definition* of a float job's bits, so solo and coalesced
+            # replays are comparable bit for bit
+            with rowrep.row_reproducible():
+                results.append(predict_logits(job.model, job.x))
         else:
             results.append(job.make_attack().generate(job.x, job.y))
     elapsed = time.perf_counter() - t0
@@ -270,7 +300,8 @@ def replay_sequential(workload: Workload) -> Dict[str, Any]:
 
 
 def replay_serve(workload: Workload, capacity: int = 64,
-                 session: Optional[ServeSession] = None) -> Dict[str, Any]:
+                 session: Optional[ServeSession] = None,
+                 float_coalesce: bool = True) -> Dict[str, Any]:
     """All jobs through one session: submit in arrival order, drain.
 
     Per-job terminal states are recorded alongside the results:
@@ -283,11 +314,11 @@ def replay_serve(workload: Workload, capacity: int = 64,
     says *how* every job ended, not just what it returned.
     """
     session = session if session is not None else ServeSession(
-        capacity=capacity)
+        capacity=capacity, float_coalesce=float_coalesce)
     futures = []
     t0 = time.perf_counter()
     for job in workload.jobs:
-        if job.kind == "predict":
+        if job.kind in ("predict", "predict_float"):
             futures.append(session.submit_predict(
                 job.model, job.x, tenant=job.tenant))
         else:
@@ -318,7 +349,8 @@ def replay_serve(workload: Workload, capacity: int = 64,
 
 def verify_parity(workload: Workload, capacity: int = 64,
                   allow_failures: bool = False,
-                  serve: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                  serve: Optional[Dict[str, Any]] = None,
+                  float_coalesce: bool = True) -> Dict[str, Any]:
     """Replay both ways, assert bit-identical per-job results.
 
     The serving layer's whole contract in one call: coalescing and
@@ -335,8 +367,8 @@ def verify_parity(workload: Workload, capacity: int = 64,
     (e.g. one run under fault injection) instead of running a fresh one.
     """
     seq = replay_sequential(workload)
-    srv = serve if serve is not None else replay_serve(workload,
-                                                       capacity=capacity)
+    srv = serve if serve is not None else replay_serve(
+        workload, capacity=capacity, float_coalesce=float_coalesce)
     not_ok = [(i, o) for i, o in enumerate(srv["outcomes"]) if o != "ok"]
     if not_ok and not allow_failures:
         raise AssertionError(
@@ -368,7 +400,8 @@ def chaos_replay(workload: Workload, capacity: int = 64,
                  fault_specs=None, seed: int = 0,
                  deadline_s: Optional[float] = None,
                  max_pending_jobs: Optional[int] = None,
-                 admission_policy: str = "reject") -> Dict[str, Any]:
+                 admission_policy: str = "reject",
+                 float_coalesce: bool = True) -> Dict[str, Any]:
     """Serve the workload under seeded fault injection and check every
     resilience invariant the chaos suite (and ``repro-exp serve
     --faults``) relies on:
@@ -401,7 +434,8 @@ def chaos_replay(workload: Workload, capacity: int = 64,
         default_deadline_s=deadline_s,
         quarantine_cooldown_s=0.5, failure_cooldown_s=0.5,
         max_pending_jobs=max_pending_jobs,
-        admission_policy=admission_policy)
+        admission_policy=admission_policy,
+        float_coalesce=float_coalesce)
     with faults_mod.inject(injector):
         srv = replay_serve(workload, session=session)
     for i, outcome in enumerate(srv["outcomes"]):

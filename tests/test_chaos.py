@@ -73,7 +73,7 @@ class TestChaosReplay:
         spec["steps"] = 3
         out = chaos_replay(build_workload(spec), capacity=32,
                            seed=FAULT_SEED, deadline_s=0.4)
-        assert sum(out["outcome_counts"].values()) == out["jobs"] == 12
+        assert sum(out["outcome_counts"].values()) == out["jobs"] == 15
         assert out["faults_fired"]                  # chaos actually ran
         assert out["clock_s"] > 0                   # latency faults ticked
         # at least one dispatch fault forced a walk down the ladder
@@ -125,6 +125,55 @@ class TestDegradationLadder:
         assert session.breaker.stats["heals"] == 1
         assert session.breaker.stats["quarantined_keys"] == 0
         assert session.scheduler.outcomes["ok"] == 3
+
+    def test_float_coalesced_key_degrades_then_heals(self, pair):
+        """The float-predict ladder is byte-neutral under faults: one
+        injected ``dispatch.predict_float`` error quarantines the
+        coalesced float key, every member completes solo-compiled with
+        bits identical to its row-reproducible solo run, and the key
+        walks back to coalesced after the cool-down."""
+        from repro.nn import rowrep
+        from repro.training import predict_logits
+        orig, quant, x, y = pair
+        clock = ManualClock()
+        inj = FaultInjector([FaultSpec("dispatch.predict_float", "error",
+                                       rate=1.0, max_fires=1)],
+                            seed=FAULT_SEED, clock=clock)
+        session = ServeSession(capacity=16, clock=clock,
+                               quarantine_cooldown_s=1.0)
+        refs = []
+        for lo, hi in ((0, 5), (5, 16)):
+            with rowrep.row_reproducible():
+                refs.append(predict_logits(quant, x[lo:hi]))
+
+        def submit_both():
+            futs = [session.submit_predict(quant, x[:5]),
+                    session.submit_predict(quant, x[5:16])]
+            return [f.result() for f in futs]
+
+        with inject(inj):
+            got = submit_both()
+        for ref, out in zip(refs, got):
+            np.testing.assert_array_equal(out, ref)
+        # coalesced rung failed, both members retried solo-compiled
+        assert [(r.level, r.retry, r.coalesced)
+                for r in session.dispatch_log] == \
+            [(0, False, True), (1, True, False), (1, True, False)]
+        assert session.breaker.stats["trips"] == 1
+        assert session.breaker.stats["quarantined_keys"] == 1
+
+        # still quarantined: next round starts solo-compiled, same bytes
+        for ref, out in zip(refs, submit_both()):
+            np.testing.assert_array_equal(out, ref)
+        assert all(r.level == 1 for r in session.dispatch_log[-2:])
+
+        clock.advance(1.5)            # cool-down elapsed: healed
+        for ref, out in zip(refs, submit_both()):
+            np.testing.assert_array_equal(out, ref)
+        assert session.dispatch_log[-1].level == 0
+        assert session.dispatch_log[-1].coalesced
+        assert session.breaker.stats["heals"] == 1
+        assert session.breaker.stats["quarantined_keys"] == 0
 
     def test_ladder_failure_chains_every_rung(self, pair):
         """A job broken at every rung fails with the whole descent

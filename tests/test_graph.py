@@ -83,6 +83,32 @@ class TestReplayParity:
         _, gx = ex.value_and_input_grad(x, seed)
         np.testing.assert_allclose(gx, xt.grad, rtol=1e-6, atol=1e-6)
 
+    def test_quantized_const_fold_stays_session_dtype(self):
+        """Folded fake_quant consts must be cast to the session dtype.
+
+        ``fake_quantize_array`` detours through float64; leaving the
+        folded weight const at float64 promotes the conv GEMM, drifting
+        off the eager tape by ulps — which an activation fake_quant can
+        amplify into a full quantization step for rows whose
+        pre-activation lands on a rounding boundary."""
+        from repro.nn.tensor import set_default_dtype
+        from repro.quantization import calibrate, prepare_qat
+        set_default_dtype("float32")
+        model, x = _build("resnet")
+        x = x.astype(np.float32)
+        qat = prepare_qat(model, weight_bits=4, per_channel=False)
+        calibrate(qat, x)
+        qat.freeze()
+        qat.eval()
+        ex = compile_forward(qat, x)
+        for op in ex._const_ops:
+            val = ex._env[op.out]
+            if val.dtype.kind == "f":
+                assert val.dtype == np.float32, (
+                    f"const {op.kind} folded at {val.dtype}")
+        ref = qat(Tensor(x)).data
+        assert np.array_equal(ex.replay(x), ref)
+
     def test_pruned_model_parity(self):
         """Pruning masks are part of the folded constant subgraph."""
         model, x = _build("lenet")

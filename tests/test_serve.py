@@ -411,7 +411,7 @@ class TestServeParity:
         spec = mixed_workload_spec(scale=1)
         spec["steps"] = 3            # keep the test fast
         out = verify_parity(build_workload(spec), capacity=32)
-        assert out["jobs"] == 12
+        assert out["jobs"] == 15
         assert out["coalesced_dispatches"] >= 2
         assert out["dispatches"] < out["jobs"]
 
@@ -423,9 +423,9 @@ class TestServeParity:
         spec = mixed_workload_spec(scale=1)
         spec["steps"] = 2
         out = replay_serve(build_workload(spec))
-        assert out["outcomes"] == ["ok"] * 12
-        assert out["outcome_counts"] == {"ok": 12}
-        assert out["errors"] == [None] * 12
+        assert out["outcomes"] == ["ok"] * 15
+        assert out["outcome_counts"] == {"ok": 15}
+        assert out["errors"] == [None] * 15
 
     def test_workload_spec_roundtrips_tenant_and_deadline(self, tmp_path):
         """tenant / deadline_s ride through save/load/build and reach
