@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench bench-all docs-check
+.PHONY: test chaos serve-net bench bench-all docs-check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -14,6 +14,14 @@ chaos:
 	REPRO_FAULT_SEED=0 $(PYTHON) -m pytest -x -q
 	REPRO_FAULT_SEED=0 $(PYTHON) -m repro.experiments.cli serve --smoke \
 		--faults --deadline-ms 400
+
+# the network-chaos gate: the socket-boundary tests plus a CLI loopback
+# replay under seeded frame faults (drop/duplicate/delay/truncate) —
+# every ok result must stay bit-identical to its in-process solo run
+serve-net:
+	REPRO_FAULT_SEED=0 $(PYTHON) -m pytest tests/test_net.py -x -q
+	REPRO_FAULT_SEED=0 $(PYTHON) -m repro.experiments.cli serve --smoke \
+		--net --net-faults --rate 20
 
 bench:
 	$(PYTHON) -m repro.benchrunner

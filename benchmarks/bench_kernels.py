@@ -801,3 +801,102 @@ def test_rowrep_gemm_overhead(benchmark):
     benchmark.extra_info["rowrep_raw_ns"] = raw_s * 1e9
     benchmark.extra_info["rowrep_rr_ns"] = rr_s * 1e9
     benchmark.extra_info["rowrep_overhead_pct"] = (rr_s / raw_s - 1) * 100
+
+
+_NET_SERVING_ARM = """
+import sys, time, statistics
+from repro.serve import (ManualClock, ServeSession, assign_arrivals,
+                         build_workload, mixed_workload_spec, replay_serve)
+from repro.serve.net import ServeClient, ServeServer, replay_net
+mode = sys.argv[1]
+spec = assign_arrivals(mixed_workload_spec(scale=2), rate_hz=500.0)
+w = build_workload(spec)
+# Long-lived state is symmetric: ONE session (and its shared PlanCache)
+# persists across bursts in both arms.  The arms differ only at the
+# boundary: in-process submit/drain calls vs the full frame protocol
+# over a loopback socket with the retrying idempotent client (pump
+# mode, shared manual clock, so no real waits enter the measurement).
+if mode == "net":
+    clock = ManualClock()
+    session = ServeSession(capacity=64, clock=clock)
+    server = ServeServer(session, spec=w.spec,
+                         models=(w.original, w.adapted, w.edge))
+    client = ServeClient(server.host, server.port, clock=clock,
+                         attempt_timeout_s=5.0, pump=server.poll)
+    fn = lambda: replay_net(w, client, rate=100.0)
+else:
+    session = ServeSession(capacity=64)
+    fn = lambda: replay_serve(w, session=session)
+fn()    # warm BLAS/page caches and the plan cache
+chunks = []
+for _ in range(5):
+    t0 = time.perf_counter()
+    fn()
+    chunks.append(time.perf_counter() - t0)
+print(statistics.median(chunks))
+"""
+
+
+def _net_serving_arm_seconds(mode):
+    """Median seconds per mixed burst, in its own process (same
+    isolation rationale as the other end-to-end arms)."""
+    import subprocess
+    import sys
+    out = subprocess.run([sys.executable, "-c", _NET_SERVING_ARM, mode],
+                         capture_output=True, text=True, check=True)
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def test_net_serving(benchmark):
+    """The socket boundary's toll: the recorded mixed workload served
+    through the networked front end (frame protocol, loopback TCP,
+    idempotency bookkeeping, journal-free) vs the same session driven
+    in-process — the cost of moving from a library to a service.
+
+    Both arms are process-isolated with one long-lived session each;
+    the net arm adds encode/CRC/socket/decode per request and response
+    plus the client's retry machinery (which never fires here — the
+    clean-path overhead is the point).  The hard gates run in-process:
+    every ok result bit-identical to the solo run over the wire, clean
+    and under seeded drop/duplicate/delay/truncate frame chaos; the
+    chaos arm's retry/dedup counts land in the trajectory so retries
+    silently turning into re-executions would show as a perf cliff.
+    """
+    from repro.serve import (ManualClock, ServeSession, assign_arrivals,
+                             build_workload, default_net_chaos_specs,
+                             mixed_workload_spec)
+    from repro.serve.net import (ServeClient, ServeServer, replay_net,
+                                 verify_net_parity)
+    from repro.serve.workload import replay_sequential
+
+    inproc_s = _net_serving_arm_seconds("inproc")
+    net_s = _net_serving_arm_seconds("net")
+
+    spec = assign_arrivals(mixed_workload_spec(scale=2), rate_hz=500.0)
+    w = build_workload(spec)
+    reference = replay_sequential(w)["results"]
+    verify_net_parity(w, rate=100.0, reference=reference)   # clean gate
+    chaos = verify_net_parity(w, fault_specs=default_net_chaos_specs(),
+                              seed=0, rate=100.0, reference=reference)
+
+    clock = ManualClock()
+    session = ServeSession(capacity=64, clock=clock)
+    server = ServeServer(session, spec=w.spec,
+                         models=(w.original, w.adapted, w.edge))
+    client = ServeClient(server.host, server.port, clock=clock,
+                         attempt_timeout_s=5.0, pump=server.poll)
+    try:
+        benchmark(lambda: replay_net(w, client, rate=100.0))
+    finally:
+        client.close()
+        server.shutdown()
+    benchmark.extra_info["net_jobs"] = len(w.jobs)
+    benchmark.extra_info["net_rows"] = w.rows
+    benchmark.extra_info["net_inproc_ms"] = inproc_s * 1e3
+    benchmark.extra_info["net_loopback_ms"] = net_s * 1e3
+    benchmark.extra_info["net_boundary_overhead_pct"] = \
+        (net_s / inproc_s - 1) * 100
+    benchmark.extra_info["net_chaos_retried"] = chaos["retried"]
+    benchmark.extra_info["net_chaos_deduped"] = chaos["deduped"]
+    benchmark.extra_info["net_chaos_ok"] = \
+        chaos["outcome_counts"].get("ok", 0)

@@ -34,6 +34,8 @@ ROOT = Path(__file__).resolve().parents[1]
 DOCTEST_MODULES = [
     "repro.serve.cache",
     "repro.serve.faults",
+    "repro.serve.journal",
+    "repro.serve.net",
     "repro.serve.resilience",
     "repro.serve.scheduler",
     "repro.serve.session",

@@ -35,7 +35,7 @@ FAST_BENCH_FILTER = ("conv2d or fake_quant or compiled_replay "
                      "or eager_forward or attack_step or attack_sweep "
                      "or attack_loop or train_step or distill_epoch "
                      "or edge_infer or serve_throughput "
-                     "or float_coalesce or rowrep_gemm")
+                     "or float_coalesce or rowrep_gemm or net_serving")
 
 
 def repo_root() -> Path:
@@ -93,6 +93,7 @@ def summarize(raw: dict, sha: str) -> dict:
     serve = {}
     float_coalesce = {}
     rowrep_gemm = {}
+    net_serving = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0].removeprefix("test_")
         if "[" in bench["name"]:        # parametrized: keep the variant tag
@@ -157,6 +158,17 @@ def summarize(raw: dict, sha: str) -> dict:
                 "integer_reference_ms": extra["float_integer_ms"],
                 "speedup": extra["float_coalesce_speedup"],
             }
+        if "net_boundary_overhead_pct" in extra:
+            net_serving = {
+                "jobs": extra["net_jobs"],
+                "rows": extra["net_rows"],
+                "inproc_ms": extra["net_inproc_ms"],
+                "loopback_ms": extra["net_loopback_ms"],
+                "boundary_overhead_pct": extra["net_boundary_overhead_pct"],
+                "chaos_retried": extra["net_chaos_retried"],
+                "chaos_deduped": extra["net_chaos_deduped"],
+                "chaos_ok": extra["net_chaos_ok"],
+            }
         if "rowrep_overhead_pct" in extra:
             rowrep_gemm = {
                 "rows": extra["rowrep_rows"],
@@ -195,6 +207,7 @@ def summarize(raw: dict, sha: str) -> dict:
         "serve_throughput": serve,
         "float_coalesce": float_coalesce,
         "rowrep_gemm": rowrep_gemm,
+        "net_serving": net_serving,
     }
 
 
@@ -264,6 +277,13 @@ def main(argv: Optional[list] = None) -> int:
         print(f"  row-reproducible GEMM overhead "
               f"{r['overhead_pct']:+.1f}% vs raw BLAS "
               f"({r['rows']} rows, full blocks)")
+    if summary["net_serving"]:
+        n = summary["net_serving"]
+        print(f"  net serving boundary {n['boundary_overhead_pct']:+.1f}% "
+              f"vs in-process ({n['inproc_ms']:.1f} -> "
+              f"{n['loopback_ms']:.1f} ms, {n['jobs']} jobs; chaos "
+              f"{n['chaos_retried']} retried / {n['chaos_deduped']} deduped, "
+              f"all {n['chaos_ok']} ok bit-identical)")
     return 0
 
 

@@ -33,19 +33,34 @@ that layer:
 - :mod:`repro.serve.workload` — recorded mixed workloads, replayable
   sequentially or through a session (``repro-exp serve``), with parity
   verification, per-job outcome records and the ``serve_throughput``
-  bench protocol.
+  bench protocol;
+- :mod:`repro.serve.net` — the networked service boundary: a
+  length-prefixed CRC-checked frame protocol, :class:`ServeServer`
+  (backpressure as structured responses, health/readiness probes,
+  graceful drain, bounded idempotency window) and :class:`ServeClient`
+  (deadlines, seeded retry/backoff, idempotency keys), with
+  ``net.client.*`` frame-fault points wired into the chaos harness;
+- :mod:`repro.serve.journal` — the write-ahead journal of accepted
+  jobs that makes a killed-and-restarted server replay and re-report
+  bit-identical outcomes.
 """
 
 from .cache import PlanCache, plan_nbytes
 from .faults import FaultInjector, FaultSpec, InjectedFault, \
-    default_chaos_specs, inject
+    default_chaos_specs, default_net_chaos_specs, inject
+from .journal import Journal, pack_arrays, unpack_arrays
+from .net import (FrameParser, NetError, ProtocolError, RetryError,
+                  ServeClient, ServeServer, encode_frame, replay_net,
+                  verify_net_parity)
 from .resilience import (LADDER, AdmissionController, AdmissionError,
-                         CircuitBreaker, Clock, DeadlineToken, JobError,
-                         ManualClock, QuotaError, ServeError, ShedError)
+                         CircuitBreaker, Clock, DeadlineError,
+                         DeadlineToken, JobError, ManualClock, QuotaError,
+                         ServeError, ShedError)
 from .scheduler import (OUTCOMES, DispatchRecord, Job, JobFuture,
                         Scheduler)
 from .session import ServeSession
-from .workload import (Workload, build_workload, chaos_replay,
+from .workload import (Workload, assign_arrivals, attack_factory,
+                       build_models, build_workload, chaos_replay,
                        load_workload, mixed_workload_spec,
                        replay_sequential, replay_serve, save_workload,
                        verify_parity)
@@ -53,13 +68,18 @@ from .workload import (Workload, build_workload, chaos_replay,
 __all__ = [
     "PlanCache", "plan_nbytes",
     "FaultInjector", "FaultSpec", "InjectedFault", "default_chaos_specs",
-    "inject",
+    "default_net_chaos_specs", "inject",
+    "Journal", "pack_arrays", "unpack_arrays",
+    "FrameParser", "NetError", "ProtocolError", "RetryError",
+    "ServeClient", "ServeServer", "encode_frame", "replay_net",
+    "verify_net_parity",
     "LADDER", "AdmissionController", "AdmissionError", "CircuitBreaker",
-    "Clock", "DeadlineToken", "JobError", "ManualClock", "QuotaError",
-    "ServeError", "ShedError",
+    "Clock", "DeadlineError", "DeadlineToken", "JobError", "ManualClock",
+    "QuotaError", "ServeError", "ShedError",
     "OUTCOMES", "DispatchRecord", "Job", "JobFuture", "Scheduler",
     "ServeSession",
-    "Workload", "build_workload", "chaos_replay", "load_workload",
+    "Workload", "assign_arrivals", "attack_factory", "build_models",
+    "build_workload", "chaos_replay", "load_workload",
     "mixed_workload_spec", "replay_sequential", "replay_serve",
     "save_workload", "verify_parity",
 ]

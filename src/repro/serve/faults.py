@@ -37,7 +37,23 @@ arr)`` call that is a no-op unless an injector is installed:
                         faults burn deadline budget mid-attack.
 ``queue.tick``          once per scheduler dispatch round — latency
                         faults model queueing delay.
+``net.client.send``     every request frame the networked client puts
+                        on the wire (:mod:`repro.serve.net`) — frame
+                        faults (``drop`` / ``duplicate`` /
+                        ``truncate``) and latency apply here.
+``net.client.recv``     every response frame the client takes off the
+                        wire — same frame-fault menu, modelling lost,
+                        repeated and cut-off replies.
 ======================  ================================================
+
+The three **frame-fault kinds** act on whole frames at the network
+boundary instead of raising: ``drop`` deletes the frame (the peer never
+sees it — the retry/timeout path must recover), ``duplicate`` delivers
+it twice (the idempotency window must dedup), and ``truncate`` cuts it
+mid-byte and kills the connection (the CRC-checked framing must refuse
+the prefix and the client must reconnect).  They are consulted through
+:func:`frame` rather than :func:`fire`, and compose deterministically
+in spec order.
 
 Corruption faults are deliberately only injectable *upstream of a
 validator* (plan validation): the serving layer's defence against
@@ -71,14 +87,15 @@ from __future__ import annotations
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .resilience import ManualClock, ServeError
 
-#: every fault kind the injector understands
-KINDS = ("error", "latency", "corrupt")
+#: every fault kind the injector understands; the last three are
+#: frame faults, meaningful only at ``net.*`` points (see :func:`frame`)
+KINDS = ("error", "latency", "corrupt", "drop", "duplicate", "truncate")
 
 
 class InjectedFault(ServeError):
@@ -176,6 +193,46 @@ class FaultInjector:
         if err:
             raise InjectedFault(point)
 
+    def frame(self, point: str, payload: bytes
+              ) -> List[Tuple[str, bytes]]:
+        """Probe ``point`` with one wire frame; returns the delivery
+        plan as ``(action, bytes)`` pairs.
+
+        The default plan is ``[("deliver", payload)]``.  Fired frame
+        faults rewrite it in spec order: ``drop`` empties it,
+        ``duplicate`` doubles it, ``truncate`` replaces it with a
+        single ``("truncate", prefix)`` — the transport must send only
+        the prefix and then sever the connection, which is what makes
+        truncation indistinguishable from a real mid-frame connection
+        loss.  Latency specs at the same point advance the clock, as
+        with :meth:`fire`.  Composition is deterministic because every
+        stream draws from its own seeded RNG.
+        """
+        plan: List[Tuple[str, bytes]] = [("deliver", payload)]
+        for stream in self._streams.get(point, ()):
+            kind = stream.spec.kind
+            if kind not in ("drop", "duplicate", "truncate", "latency"):
+                continue
+            if not stream.draw():
+                continue
+            if kind == "latency":
+                if self.clock is not None:
+                    self.clock.advance(stream.spec.delay_s)
+                self.log.append({"point": point, "kind": "latency",
+                                 "delay_s": stream.spec.delay_s})
+            elif kind == "drop":
+                plan = []
+                self.log.append({"point": point, "kind": "drop"})
+            elif kind == "duplicate":
+                plan = plan + plan
+                self.log.append({"point": point, "kind": "duplicate"})
+            else:   # truncate: cut the frame and sever the stream there
+                cut = int(stream.rng.integers(1, max(len(payload), 2)))
+                plan = [("truncate", payload[:cut])]
+                self.log.append({"point": point, "kind": "truncate",
+                                 "cut": cut})
+        return plan
+
     def corrupt(self, point: str, arr: np.ndarray) -> bool:
         """Probe ``point`` with a corruption target: flips one element
         of ``arr`` in place when the fault fires.  Returns whether it
@@ -245,6 +302,15 @@ def corrupt(point: str, arr: np.ndarray) -> bool:
     return False
 
 
+def frame(point: str, payload: bytes) -> List[Tuple[str, bytes]]:
+    """Production-side frame hook: delivered unchanged unless an
+    injector is installed (the networked client consults this on every
+    frame it sends or receives)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.frame(point, payload)
+    return [("deliver", payload)]
+
+
 def default_chaos_specs(deadline_pressure: bool = True) -> List[FaultSpec]:
     """The stock chaos plan: every fault class at every point family.
 
@@ -267,3 +333,24 @@ def default_chaos_specs(deadline_pressure: bool = True) -> List[FaultSpec]:
         specs.append(FaultSpec("attack.step", "latency", rate=0.5,
                                delay_s=0.05))
     return specs
+
+
+def default_net_chaos_specs() -> List[FaultSpec]:
+    """The stock *network* chaos plan: every frame-fault kind on both
+    directions of the wire, plus send-side latency.
+
+    Fire budgets are bounded so a finite retry policy always converges:
+    the client's ``max_retries`` must only outlast the worst per-key
+    burst, not an unbounded fault stream.  Use alongside
+    :func:`default_chaos_specs` to chaos both the wire and the control
+    plane at once.
+    """
+    return [
+        FaultSpec("net.client.send", "drop", rate=0.2, max_fires=3),
+        FaultSpec("net.client.send", "duplicate", rate=0.2, max_fires=3),
+        FaultSpec("net.client.send", "truncate", rate=0.1, max_fires=2),
+        FaultSpec("net.client.send", "latency", rate=0.3, delay_s=0.02),
+        FaultSpec("net.client.recv", "drop", rate=0.15, max_fires=2),
+        FaultSpec("net.client.recv", "duplicate", rate=0.15, max_fires=2),
+        FaultSpec("net.client.recv", "truncate", rate=0.1, max_fires=1),
+    ]

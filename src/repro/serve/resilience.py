@@ -82,6 +82,17 @@ class QuotaError(AdmissionError):
     """The submitting tenant exceeded its pending-rows quota."""
 
 
+class DeadlineError(ServeError):
+    """A bounded wait ran out before the job resolved.
+
+    Raised by :meth:`JobFuture.result(timeout=...) <repro.serve.
+    scheduler.JobFuture.result>` when the drain budget elapses with the
+    job still pending, and by the networked client when a per-request
+    deadline passes before a response lands.  Distinct from the
+    ``deadline-degraded`` *outcome*: that one returns a best-so-far
+    batch; this one means the caller stopped waiting."""
+
+
 # --------------------------------------------------------------------- #
 # clocks
 # --------------------------------------------------------------------- #

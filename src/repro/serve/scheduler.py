@@ -74,8 +74,8 @@ from ..attacks.engine import run_scheduled
 from ..nn import rowrep
 from ..nn.tensor import Tensor
 from . import faults
-from .resilience import (EAGER_LEVEL, CircuitBreaker, Clock, DeadlineToken,
-                         JobError, ServeError)
+from .resilience import (EAGER_LEVEL, CircuitBreaker, Clock, DeadlineError,
+                         DeadlineToken, JobError, ServeError)
 
 #: every terminal state a job can land in (the workload-record taxonomy)
 OUTCOMES = ("ok", "failed", "rejected", "deadline-degraded")
@@ -122,10 +122,28 @@ class JobFuture:
             self.info.update(info)
         self._done = True
 
-    def result(self) -> Any:
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's value, driving the session until it resolves.
+
+        ``timeout`` bounds the wait: the drain stops dispatching new
+        rounds once ``timeout`` seconds of session-clock time have
+        elapsed, and if this job is still pending a structured
+        :class:`~repro.serve.resilience.DeadlineError` is raised — the
+        job stays queued (a later unbounded ``result()`` can still
+        serve it).  Under a :class:`~repro.serve.resilience.
+        ManualClock` only injected latency moves time, so a bounded
+        wait expiring is a deterministic, replayable event.
+        """
         if not self._done:
-            self._drain()
-        if not self._done:        # pragma: no cover - defensive
+            if timeout is None:
+                self._drain()
+            else:
+                self._drain(timeout=timeout)
+        if not self._done:
+            if timeout is not None:
+                raise DeadlineError(
+                    f"job did not resolve within the {timeout}s drain "
+                    "budget; it remains pending")
             raise JobError("job did not resolve after a full drain")
         if self._error is not None:
             if isinstance(self._error, ServeError):
@@ -309,7 +327,7 @@ class Scheduler:
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
 
     # -- dispatch ------------------------------------------------------- #
-    def run_pending(self) -> int:
+    def run_pending(self, until: Optional[float] = None) -> int:
         """Serve the queue to empty; returns the number of head rounds.
 
         Membership of each batch is decided when its head job (always
@@ -317,9 +335,18 @@ class Scheduler:
         tail and cannot delay anything already queued.  ``queue.tick``
         fires once per round (a latency-fault injection point: queueing
         delay under chaos; error faults do not belong on it).
+
+        ``until`` (absolute clock time) is the bounded-wait budget
+        behind :meth:`JobFuture.result(timeout=...) <JobFuture.
+        result>`: it is checked *between* dispatch rounds — a round in
+        flight always completes (jobs are never abandoned mid-dispatch)
+        but no new round starts past the budget, leaving the rest of
+        the queue pending for a later drain.
         """
         rounds = 0
         while self.pending:
+            if until is not None and self.clock.now() >= until:
+                break
             faults.fire("queue.tick")
             head = self.pending.popleft()
             key = _group_key(head, self.float_coalesce)

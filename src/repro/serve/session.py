@@ -232,9 +232,13 @@ class ServeSession:
                                model=model, tenant=tenant))
 
     # -- execution ------------------------------------------------------- #
-    def drain(self) -> int:
+    def drain(self, timeout: Optional[float] = None) -> int:
         """Serve every pending job; returns the number of dispatches.
 
+        ``timeout`` (relative seconds on the session clock) bounds the
+        drain for :meth:`JobFuture.result(timeout=...)
+        <repro.serve.scheduler.JobFuture.result>`: dispatch rounds stop
+        once the budget elapses and the remaining queue stays pending.
         A completed drain ends with a cycle collection: compiled
         programs are self-referential (their op closures capture the
         program), so retired plans are *only* reclaimable by the cyclic
@@ -247,7 +251,9 @@ class ServeSession:
         """
         if not self.scheduler.pending:
             return 0
-        rounds = self.scheduler.run_pending()
+        until = (None if timeout is None
+                 else self.clock.now() + float(timeout))
+        rounds = self.scheduler.run_pending(until=until)
         gc.collect()
         return rounds
 

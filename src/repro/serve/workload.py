@@ -72,8 +72,9 @@ from .resilience import ServeError
 from .session import ServeSession
 
 #: spec format version, bumped on incompatible schema changes; job
-#: records may carry optional ``tenant`` / ``deadline_s`` fields (older
-#: specs without them replay unchanged, so the version stays 1)
+#: records may carry optional ``tenant`` / ``deadline_s`` /
+#: ``arrival_offset_s`` fields (older specs without them replay
+#: unchanged — offsets default to 0 — so the version stays 1)
 SPEC_VERSION = 1
 
 
@@ -121,6 +122,38 @@ def mixed_workload_spec(scale: int = 2, seed: int = 0) -> Dict[str, Any]:
     }
 
 
+def assign_arrivals(spec: Dict[str, Any], rate_hz: float = 50.0,
+                    tenants: int = 4, seed: Optional[int] = None
+                    ) -> Dict[str, Any]:
+    """Give every job a tenant and an ``arrival_offset_s`` (in place).
+
+    Jobs are dealt round-robin across ``tenants`` independent arrival
+    processes; each tenant's inter-arrival gaps are exponential with
+    mean ``1 / rate_hz`` (a Poisson process per tenant, the standard
+    open-loop load model), drawn from a seeded RNG so a spec's arrival
+    pattern is part of its identity.  The job *list order* is left
+    untouched — arrival order is the offsets' job, and the load
+    generator sorts by them at replay time.  Old specs without offsets
+    load with offset 0 (all-at-once, the historic behaviour).
+
+    >>> spec = assign_arrivals(mixed_workload_spec(scale=1), tenants=2)
+    >>> all("arrival_offset_s" in j and "tenant" in j
+    ...     for j in spec["jobs"])
+    True
+    """
+    if rate_hz <= 0 or tenants < 1:
+        raise ValueError("rate_hz must be > 0 and tenants >= 1")
+    rng = np.random.default_rng(
+        spec["seed"] + 1000003 if seed is None else seed)
+    clocks = [0.0] * tenants
+    for i, job in enumerate(spec["jobs"]):
+        t = i % tenants
+        clocks[t] += float(rng.exponential(1.0 / rate_hz))
+        job["tenant"] = f"tenant-{t}"
+        job["arrival_offset_s"] = round(clocks[t], 6)
+    return spec
+
+
 def save_workload(spec: Dict[str, Any], path: str) -> str:
     with open(path, "w") as fh:
         json.dump(spec, fh, indent=2, sort_keys=True)
@@ -148,6 +181,8 @@ class MaterializedJob:
     model: Any = None               # EdgeModel for predict jobs
     tenant: Any = None              # admission-quota identity
     deadline_s: Optional[float] = None   # relative per-job deadline
+    arrival_offset_s: float = 0.0   # load-gen arrival time (0 = at once)
+    record: Optional[Dict[str, Any]] = None  # resolved spec record (wire form)
 
 
 @dataclass
@@ -165,26 +200,24 @@ class Workload:
         return sum(len(j.x) for j in self.jobs)
 
 
-def build_workload(spec: Dict[str, Any]) -> Workload:
-    """Deterministically materialize models, data and jobs from a spec.
+def build_models(spec: Dict[str, Any]):
+    """``(original, adapted, edge)`` deterministically from a spec.
 
     The server-side state mirrors the bench fixtures: an untrained
     (seeded) original model, its calibrated+frozen 8-bit QAT adaptation
     as the attack target pair, and a separately quantized feed-forward
-    model compiled to the int8 edge artifact for inference jobs.
-    Attack-job labels are the original model's own predictions, so
-    every probe starts un-succeeded (no random-label degeneracy).
+    model compiled to the int8 edge artifact for inference jobs.  The
+    networked server calls this with the *same spec* the client
+    materialized its workload from, which is what makes wire replays
+    comparable bit for bit with in-process ones.
     """
-    from ..attacks import CWLinf, DIVA, NESDiva, PGD
     from ..edge import compile_edge
     from ..models import build_model
     from ..quantization import calibrate, prepare_qat
-    from ..training import predict_labels
 
     rng = np.random.default_rng(spec["seed"])
     am = spec["attack_model"]
     em = spec["edge_model"]
-    steps = int(spec.get("steps", 10))
 
     original = build_model(am["arch"], num_classes=am["num_classes"],
                            width=am["width"], seed=spec["seed"])
@@ -208,6 +241,73 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
     calibrate(edge_q, edge_calib)
     edge_q.freeze()
     edge = compile_edge(edge_q, em["num_classes"])
+    return original, adapted, edge
+
+
+def attack_factory(original: Any, adapted: Any, rec: Dict[str, Any],
+                   default_steps: int = 10):
+    """Zero-arg attack factory for one *resolved* job record.
+
+    A resolved record carries every parameter explicitly (the NES seed
+    in particular — :func:`build_workload` injects the job index for
+    old specs that omit it), so the same record produces the same
+    attack whether it is materialized client-side, server-side from a
+    wire frame, or during journal recovery.
+    """
+    from ..attacks import CWLinf, DIVA, NESDiva, PGD
+
+    kind = rec["kind"]
+    eps = float(rec.get("eps", 8 / 255))
+    alpha = float(rec.get("alpha", 1 / 255))
+    n_steps = int(rec.get("steps", default_steps))
+    if kind == "diva":
+        c = float(rec.get("c", 1.0))
+        return (lambda c=c, eps=eps, alpha=alpha, n=n_steps:
+                DIVA(original, adapted, c=c, eps=eps, alpha=alpha,
+                     steps=n))
+    if kind == "pgd":
+        return (lambda eps=eps, alpha=alpha, n=n_steps:
+                PGD(adapted, eps=eps, alpha=alpha, steps=n))
+    if kind == "cw":
+        kappa = float(rec.get("kappa", 0.0))
+        return (lambda eps=eps, alpha=alpha, n=n_steps, k=kappa:
+                CWLinf(adapted, eps=eps, alpha=alpha, steps=n, kappa=k))
+    if kind == "fgsm":
+        # FGSM == PGD(steps=1, alpha=eps, keep_best=False): one
+        # eps-sized sign step from the natural sample
+        return (lambda eps=eps:
+                PGD(adapted, eps=eps, alpha=eps, steps=1,
+                    keep_best=False))
+    if kind == "nes":
+        ns = int(rec.get("n_samples", 4))
+        s = int(rec.get("seed", 0))
+        return (lambda eps=eps, alpha=alpha, n=n_steps, ns=ns, s=s:
+                NESDiva(original, adapted, n_samples=ns, eps=eps,
+                        alpha=alpha, steps=n, seed=s))
+    raise ValueError(f"unknown workload job kind {kind!r}")
+
+
+def build_workload(spec: Dict[str, Any]) -> Workload:
+    """Deterministically materialize models, data and jobs from a spec.
+
+    Models come from :func:`build_models`; attack-job labels are the
+    original model's own predictions, so every probe starts
+    un-succeeded (no random-label degeneracy).  Each materialized job
+    keeps its *resolved* spec record (index-dependent defaults like the
+    NES seed made explicit) — the wire form a networked client sends.
+    """
+    from ..training import predict_labels
+
+    original, adapted, edge = build_models(spec)
+    rng = np.random.default_rng(spec["seed"])
+    am = spec["attack_model"]
+    em = spec["edge_model"]
+    steps = int(spec.get("steps", 10))
+    # burn the model-calibration draws so job data stays where the
+    # original single-RNG materialization put it (spec identity)
+    rng.random((16, 3, am["image_size"], am["image_size"]))
+    rng.random((16, em.get("in_channels", 1), em["image_size"],
+                em["image_size"]))
 
     jobs: List[MaterializedJob] = []
     for i, rec in enumerate(spec["jobs"]):
@@ -216,12 +316,15 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
         tenant = rec.get("tenant")
         deadline_s = rec.get("deadline_s")
         deadline_s = None if deadline_s is None else float(deadline_s)
+        offset = float(rec.get("arrival_offset_s", 0.0))
         if kind == "predict":
             x = rng.random((rows, em.get("in_channels", 1),
                             em["image_size"], em["image_size"]),
                            ).astype(np.float32)
             jobs.append(MaterializedJob(kind, x, None, None, model=edge,
-                                        tenant=tenant, deadline_s=deadline_s))
+                                        tenant=tenant, deadline_s=deadline_s,
+                                        arrival_offset_s=offset,
+                                        record=dict(rec)))
             continue
         if kind == "predict_float":
             # float inference against the attack target itself: the
@@ -230,41 +333,23 @@ def build_workload(spec: Dict[str, Any]) -> Workload:
             x = rng.random((rows, 3, am["image_size"], am["image_size"]),
                            ).astype(np.float32)
             jobs.append(MaterializedJob(kind, x, None, None, model=adapted,
-                                        tenant=tenant, deadline_s=deadline_s))
+                                        tenant=tenant, deadline_s=deadline_s,
+                                        arrival_offset_s=offset,
+                                        record=dict(rec)))
             continue
         x = rng.random((rows, 3, am["image_size"], am["image_size"]),
                        ).astype(np.float32)
         y = predict_labels(original, x)
-        eps = float(rec.get("eps", 8 / 255))
-        alpha = float(rec.get("alpha", 1 / 255))
-        n_steps = int(rec.get("steps", steps))
-        if kind == "diva":
-            c = float(rec.get("c", 1.0))
-            make = (lambda c=c, eps=eps, alpha=alpha, n=n_steps:
-                    DIVA(original, adapted, c=c, eps=eps, alpha=alpha,
-                         steps=n))
-        elif kind == "pgd":
-            make = (lambda eps=eps, alpha=alpha, n=n_steps:
-                    PGD(adapted, eps=eps, alpha=alpha, steps=n))
-        elif kind == "cw":
-            kappa = float(rec.get("kappa", 0.0))
-            make = (lambda eps=eps, alpha=alpha, n=n_steps, k=kappa:
-                    CWLinf(adapted, eps=eps, alpha=alpha, steps=n, kappa=k))
-        elif kind == "fgsm":
-            # FGSM == PGD(steps=1, alpha=eps, keep_best=False): one
-            # eps-sized sign step from the natural sample
-            make = (lambda eps=eps:
-                    PGD(adapted, eps=eps, alpha=eps, steps=1,
-                        keep_best=False))
-        elif kind == "nes":
-            ns = int(rec.get("n_samples", 4))
-            make = (lambda eps=eps, alpha=alpha, n=n_steps, ns=ns, s=i:
-                    NESDiva(original, adapted, n_samples=ns, eps=eps,
-                            alpha=alpha, steps=n, seed=s))
-        else:
-            raise ValueError(f"unknown workload job kind {kind!r}")
+        resolved = dict(rec)
+        resolved.setdefault("steps", steps)
+        if kind == "nes":
+            resolved.setdefault("seed", i)
+        make = attack_factory(original, adapted, resolved,
+                              default_steps=steps)
         jobs.append(MaterializedJob(kind, x, y, make, tenant=tenant,
-                                    deadline_s=deadline_s))
+                                    deadline_s=deadline_s,
+                                    arrival_offset_s=offset,
+                                    record=resolved))
     return Workload(spec, original, adapted, edge, jobs)
 
 

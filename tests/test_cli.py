@@ -71,6 +71,36 @@ class TestCLI:
         assert "chaos OK" in out and "outcomes" in out
         assert "quarantine trips" in out
 
+    def test_serve_net_loopback_breakdown(self, tmp_path, capsys):
+        """`repro-exp serve --net` replays through the socket boundary
+        and prints the networked per-outcome breakdown."""
+        from repro.experiments.cli import main
+        from repro.serve import mixed_workload_spec, save_workload
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        path = str(tmp_path / "workload.json")
+        save_workload(spec, path)
+        assert main(["serve", "--workload", path, "--net",
+                     "--journal", str(tmp_path / "serve.journal")]) == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+        assert "retried=0" in out and "deduped=0" in out
+
+    def test_serve_net_faults_breakdown(self, tmp_path, capsys):
+        """`repro-exp serve --net --net-faults` survives seeded frame
+        chaos and reports retried/deduped counts."""
+        from repro.experiments.cli import main
+        from repro.serve import mixed_workload_spec, save_workload
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        path = str(tmp_path / "workload.json")
+        save_workload(spec, path)
+        assert main(["serve", "--workload", path, "--net", "--net-faults",
+                     "--net-fault-seed", "0", "--rate", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos OK" in out and "frame faults" in out
+        assert "ok=" in out and "retried=" in out and "deduped=" in out
+
 
 class TestDocsCheck:
     """The CI docs gate: doctests run and links/anchors resolve."""
