@@ -26,11 +26,18 @@ which is exactly the property that makes cross-request float
 coalescing (and, later, multi-worker float execution) value-neutral:
 any partition of any merged batch produces identical per-row bytes.
 
-The mode is a process-global flag (:func:`row_reproducible` context
+The mode is a *per-thread* flag (:func:`row_reproducible` context
 manager).  Compiled programs capture the mode at *plan build time* (the
 kernel closures bake it in), so every plan-cache key that can hold a
 float GEMM plan must include :func:`mode_key`; replaying a plan under
 the other mode is a cache-keying bug, not a runtime dispatch.
+Thread-locality matters for the worker pool (``repro.serve.pool``):
+each worker thread enters and exits :func:`row_reproducible` around its
+own float dispatches, and a shared flag would let one worker's exit
+silently flip the mode under another worker mid-GEMM.  The tail-padding
+scratch buffers are thread-local for the same reason — two workers
+padding ragged tails of the same ``(K, dtype)`` geometry must not share
+bytes.
 
 The overhead is bounded and tracked: full-block batches pay ~1-2% over
 raw ``np.matmul`` (the ``rowrep_gemm`` microbench gates it at 15%);
@@ -40,6 +47,7 @@ amortizes away (merged batches fill blocks).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
@@ -51,17 +59,26 @@ import numpy as np
 #: produce different — individually reproducible — bits.
 ROW_BLOCK = 256
 
-_enabled = False
+#: per-thread mode flag + tail scratch; worker-pool threads toggle the
+#: mode independently, so neither may live at module scope
+_tls = threading.local()
 
-#: zero-padded tail scratch, keyed (K, dtype) — contents die inside
-#: :func:`rr_matmul`, so one buffer per geometry serves every caller
-_pad_scratch: Dict[Tuple[int, str], np.ndarray] = {}
+
+def _state_enabled() -> bool:
+    return getattr(_tls, "enabled", False)
+
+
+def _pad_cache() -> Dict[Tuple[int, str], np.ndarray]:
+    cache = getattr(_tls, "pad_scratch", None)
+    if cache is None:
+        cache = _tls.pad_scratch = {}
+    return cache
 
 
 def enabled() -> bool:
     """Whether 2D float matmuls currently route through the fixed-order
-    blocked kernel."""
-    return _enabled
+    blocked kernel (on the calling thread)."""
+    return _state_enabled()
 
 
 def mode_key() -> Tuple[str, int]:
@@ -74,7 +91,7 @@ def mode_key() -> Tuple[str, int]:
     row-reproducible region (or vice versa) would silently produce the
     other mode's bits.
     """
-    return ("rr", ROW_BLOCK if _enabled else 0)
+    return ("rr", ROW_BLOCK if _state_enabled() else 0)
 
 
 @contextmanager
@@ -84,22 +101,24 @@ def row_reproducible(on: bool = True):
     Nestable and exception-safe; the previous mode is restored on exit.
     The serving layer wraps every float-inference dispatch — coalesced,
     solo and eager alike — in this, so degradation down the ladder can
-    change latency but never bytes.
+    change latency but never bytes.  The flag is per-thread: a pool
+    worker's region never leaks into (or gets torn down by) another
+    worker's.
     """
-    global _enabled
-    prev = _enabled
-    _enabled = bool(on)
+    prev = _state_enabled()
+    _tls.enabled = bool(on)
     try:
         yield
     finally:
-        _enabled = prev
+        _tls.enabled = prev
 
 
 def _pad_buffer(k: int, dtype: np.dtype) -> np.ndarray:
+    scratch = _pad_cache()
     key = (k, np.dtype(dtype).str)
-    buf = _pad_scratch.get(key)
+    buf = scratch.get(key)
     if buf is None:
-        buf = _pad_scratch[key] = np.zeros((ROW_BLOCK, k), dtype=dtype)
+        buf = scratch[key] = np.zeros((ROW_BLOCK, k), dtype=dtype)
     return buf
 
 
@@ -149,7 +168,7 @@ def matmul(a: np.ndarray, b: np.ndarray,
     per-slice call shapes are already composition-independent) and
     integer operands always take the raw path.
     """
-    if (_enabled and a.ndim == 2 and b.ndim == 2
+    if (_state_enabled() and a.ndim == 2 and b.ndim == 2
             and a.dtype.kind == "f"):
         return rr_matmul(a, b, out=out)
     if out is None:

@@ -1,0 +1,413 @@
+"""Worker-pool executor behind the Scheduler: N workers, one result plane.
+
+The sequential :class:`~repro.serve.scheduler.Scheduler` dispatches one
+coalesced group at a time.  Its groups are independent by construction
+— different group keys mean different plan families — so the dispatch
+loop is embarrassingly parallel *except* for the places where groups
+share mutable state: compiled plans (and the models that own them),
+breaker rungs, fault-stream draws, the manual clock, and the
+result/record/outcome bookkeeping.  :class:`PoolScheduler` parallelizes
+the loop while pinning each of those shared surfaces down:
+
+- **plan wave (single-threaded)** — the queue is partitioned into
+  dispatch groups by the *same* :meth:`~repro.serve.scheduler.
+  Scheduler._pop_group` the sequential path uses, in the same arrival
+  order, firing the same ``queue.tick`` per round.  A pooled run
+  therefore forms exactly the groups a sequential run would (the
+  partition-equality property test in ``tests/test_pool.py``).
+- **conflict components** — groups that share any *plan owner* (an
+  attack's models, an inference job's model, the attack instance
+  itself) are unioned into one component and serialized, in plan
+  order, on one worker.  Everything a dispatch mutates outside its own
+  jobs — compiled-plan constants on ``refresh``, ``use_compiled``
+  flags, eager-tape parameter grads — lives on those owners, so two
+  groups in different components touch disjoint mutable state and may
+  run concurrently.
+- **deterministic assignment + seeded stealing** — components are
+  dealt round-robin (by plan order) onto workers, then a seeded steal
+  pass moves whole components off the most-loaded worker onto the
+  least-loaded one while it strictly improves balance.  Every steal is
+  logged as a :class:`StealRecord`; the whole placement is a pure
+  function of (plan, workers, steal_seed) — and per-job *results* are
+  placement-independent anyway, which the steal tests assert.
+- **per-group clock views and fault scopes** — under a
+  :class:`~repro.serve.resilience.ManualClock`, each group executes
+  against an :class:`~repro.serve.resilience.OffsetClock` based at the
+  wave start plus its worker's prior elapsed time, inside a
+  :func:`repro.serve.faults.scope` keyed by the group's head seq.
+  Latency faults advance only the group's view; deadline polls read
+  it; fault draws come from per-group derived streams.  Chaos is a
+  function of the group, never of worker count or interleaving.
+- **single-writer result plane** — workers buffer their
+  :class:`~repro.serve.scheduler.DispatchRecord`\\ s and settle
+  intents into per-group lists.  After the wave joins, the *main
+  thread alone* advances the real clock by the slowest worker's
+  elapsed time and publishes every group's records, outcome counters
+  and future resolutions in plan order.  ``dispatch_log`` order,
+  outcome counts and :class:`~repro.serve.scheduler.JobFuture`
+  completion order are therefore identical at every worker count.
+
+Bounded waits ("completion wins ties"): ``run_pending(until)`` checks
+the budget only when *planning* more groups.  Once a group is planned
+it always executes and always reaps — a job whose group ran while the
+clock crossed the deadline in the same tick resolves instead of
+raising, and jobs never planned stay cleanly pending for a later
+drain.
+
+``workers=1`` (the default on this single-CPU container) runs the
+whole machinery inline — no threads, same plan/steal/reap pipeline, so
+single-worker pooled serving is deterministic by construction and
+byte-identical to ``workers=N``.
+
+The **process backend is a designed seam**: ``backend="process"``
+raises :class:`NotImplementedError` with the design (plans rebuilt per
+process, shared-memory activation/result buffers, journal-based reap)
+spelled out.  The thread backend already isolates everything a process
+backend must isolate; what remains is transport.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import faults
+from .resilience import (CircuitBreaker, Clock, ManualClock, OffsetClock,
+                         ShardedCircuitBreaker)
+from .scheduler import DispatchContext, DispatchRecord, Job, Scheduler
+
+#: executor backends; "process" is the documented scale-out seam
+BACKENDS = ("thread", "process")
+
+_PROCESS_SEAM = (
+    "backend='process' is a designed seam, not yet an implementation. "
+    "Process workers need three things the thread backend gets for "
+    "free: (1) compiled plans rebuilt per worker process — plan objects "
+    "hold kernel closures over preallocated buffers and do not pickle; "
+    "(2) activation and result buffers in shared memory "
+    "(multiprocessing.shared_memory) so merged batches fan out and "
+    "per-job result slices return without copies; (3) the single-writer "
+    "reap reading per-worker journals instead of in-process lists. "
+    "Everything else — per-group clock views, per-group fault streams, "
+    "sharded caches and breakers, the plan/assign/steal/reap pipeline — "
+    "is process-ready as built; the seam is confined to transport.")
+
+
+@dataclass
+class StealRecord:
+    """One steal decision: a whole component moved between workers."""
+
+    component: int              # component root (plan order of its head)
+    seqs: Tuple[int, ...]       # head seqs of the component's groups
+    rows: int
+    from_worker: int
+    to_worker: int
+
+
+@dataclass
+class _PlannedGroup:
+    """One dispatch group in a wave, plus its deferred result plane."""
+
+    order: int                  # plan order within the wave
+    kind: str
+    group: List[Job]
+    key: Any
+    component: int = -1
+    worker: int = -1
+    records: List[DispatchRecord] = field(default_factory=list)
+    resolutions: List[Tuple[Job, Dict[str, Any]]] = field(
+        default_factory=list)
+    error: Optional[BaseException] = None
+
+    @property
+    def seq(self) -> int:
+        return self.group[0].seq
+
+    @property
+    def rows(self) -> int:
+        return sum(j.rows for j in self.group)
+
+
+def _group_owners(pg: _PlannedGroup) -> List[Any]:
+    """The mutable objects a group's dispatch may touch beyond its own
+    jobs: each attack instance (``use_compiled``, plan refresh, step
+    state) and every model a job runs against (plan constants, eager
+    parameter grads, BN/eval flags)."""
+    owners: List[Any] = []
+    for job in pg.group:
+        if job.kind == "attack" and job.attack is not None:
+            owners.append(job.attack)
+            owners.extend(job.attack._plan_owners())
+        elif job.model is not None:
+            owners.append(job.model)
+    return owners
+
+
+class PoolScheduler(Scheduler):
+    """Scheduler whose dispatch loop fans waves of groups onto workers.
+
+    Drop-in for :class:`~repro.serve.scheduler.Scheduler` (same queue,
+    same ``run_pending`` contract, same stats surfaces) with three new
+    knobs:
+
+    workers:
+        Worker-lane count.  1 (default) runs inline — the full
+        plan/assign/steal/reap pipeline with no threads.  N > 1 runs
+        each wave's lanes on N daemon threads; the GEMMs dominating
+        dispatch time release the GIL.
+    steal_seed:
+        Seed for the steal pass's victim choice; placement is a pure
+        function of (plan, workers, steal_seed).
+    backend:
+        ``"thread"`` (implemented) or ``"process"`` (the documented
+        scale-out seam — raises :class:`NotImplementedError`).
+    """
+
+    def __init__(self, capacity: int = 64, max_batch_rows: int = 512,
+                 predict_batch: int = 256,
+                 clock: Optional[Clock] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 float_coalesce: bool = True,
+                 workers: int = 1, steal_seed: int = 0,
+                 backend: str = "thread"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown pool backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if backend == "process":
+            raise NotImplementedError(_PROCESS_SEAM)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if breaker is None:
+            clk = clock if clock is not None else Clock()
+            breaker = ShardedCircuitBreaker(nshards=max(int(workers), 1),
+                                            clock=clk)
+            clock = clk
+        super().__init__(capacity=capacity, max_batch_rows=max_batch_rows,
+                         predict_batch=predict_batch, clock=clock,
+                         breaker=breaker, float_coalesce=float_coalesce)
+        self.workers = int(workers)
+        self.steal_seed = int(steal_seed)
+        self.backend = backend
+        self.steal_log: List[StealRecord] = []
+        #: one summary dict per executed wave (tests introspect these)
+        self.wave_log: List[Dict[str, Any]] = []
+        self._worker_elapsed: List[float] = []
+
+    # -- the pooled dispatch loop --------------------------------------- #
+    def run_pending(self, until: Optional[float] = None) -> int:
+        """Serve the queue in waves; returns the number of groups run.
+
+        ``until`` gates *planning only*: no new group is popped past
+        the budget, but every planned group executes and reaps —
+        completion wins ties at the deadline boundary, so a job whose
+        group ran while an injected latency pushed the clock past
+        ``until`` in the same tick resolves instead of staying in a
+        completed-but-unreaped limbo.  Unplanned jobs stay pending for
+        a later drain, exactly as the sequential bounded wait leaves
+        them.
+        """
+        rounds = 0
+        while self.pending:
+            if until is not None and self.clock.now() >= until:
+                break
+            rounds += self._run_wave(until)
+        return rounds
+
+    def _run_wave(self, until: Optional[float]) -> int:
+        plan: List[_PlannedGroup] = []
+        while self.pending:
+            if (plan and until is not None
+                    and self.clock.now() >= until):
+                break
+            kind, group, key = self._pop_group()
+            plan.append(_PlannedGroup(len(plan), kind, group, key))
+        if not plan:
+            return 0
+        comps = self._components(plan)
+        lanes = self._assign(plan, comps)
+        self.wave_log.append({
+            "wave": len(self.wave_log),
+            "groups": [(tuple(j.seq for j in pg.group), pg.key)
+                       for pg in plan],
+            "components": {root: [pg.seq for pg in members]
+                           for root, members in sorted(comps.items())},
+            "workers": [[pg.seq for pg in lane] for lane in lanes],
+        })
+        self._execute(lanes)
+        self._reap(plan)
+        return len(plan)
+
+    # -- conflict components -------------------------------------------- #
+    def _components(self, plan: List[_PlannedGroup]
+                    ) -> Dict[int, List[_PlannedGroup]]:
+        """Union-find over plan-owner identity: groups sharing any
+        owner object land in one component (keyed by the smallest plan
+        order it contains) and will run serially in plan order."""
+        parent = list(range(len(plan)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        owner_home: Dict[int, int] = {}
+        for i, pg in enumerate(plan):
+            for owner in _group_owners(pg):
+                j = owner_home.setdefault(id(owner), i)
+                if j != i:
+                    union(i, j)
+        comps: Dict[int, List[_PlannedGroup]] = {}
+        for i, pg in enumerate(plan):
+            root = find(i)
+            pg.component = root
+            comps.setdefault(root, []).append(pg)
+        return comps
+
+    # -- placement ------------------------------------------------------ #
+    def _assign(self, plan: List[_PlannedGroup],
+                comps: Dict[int, List[_PlannedGroup]]
+                ) -> List[List[_PlannedGroup]]:
+        """Components → workers: round-robin by plan order, then the
+        seeded steal pass.  Returns each worker's lane (its components'
+        groups, each component contiguous and in plan order)."""
+        nw = self.workers
+        order = sorted(comps)
+        placement: Dict[int, int] = {root: k % nw
+                                     for k, root in enumerate(order)}
+        cost = {root: sum(pg.rows for pg in comps[root])
+                for root in order}
+        self._steal(order, placement, cost, comps)
+        lanes: List[List[_PlannedGroup]] = [[] for _ in range(nw)]
+        for root in order:
+            lanes[placement[root]].extend(comps[root])
+        return lanes
+
+    def _steal(self, order: List[int], placement: Dict[int, int],
+               cost: Dict[int, int],
+               comps: Dict[int, List[_PlannedGroup]]) -> None:
+        """Seeded rebalancing: move whole components from the most- to
+        the least-loaded worker while the move strictly shrinks the
+        spread.  Victim choice among eligible components is drawn from
+        a seeded RNG (keyed by steal_seed and the wave index) so the
+        steal plan — like everything else — replays bit-for-bit."""
+        nw = self.workers
+        if nw <= 1 or len(order) <= 1:
+            return
+        rng = np.random.default_rng([self.steal_seed, len(self.wave_log)])
+        loads = [0] * nw
+        for root, w in placement.items():
+            loads[w] += cost[root]
+        while True:
+            hi = max(range(nw), key=lambda w: (loads[w], w))
+            lo = min(range(nw), key=lambda w: (loads[w], w))
+            gap = loads[hi] - loads[lo]
+            # only moves that strictly shrink the spread (0 < cost <
+            # gap) are eligible, so the squared-load sum decreases every
+            # iteration and the pass always terminates
+            victims = [root for root in order
+                       if placement[root] == hi and 0 < cost[root] < gap]
+            if hi == lo or not victims:
+                return
+            root = victims[int(rng.integers(len(victims)))]
+            members = comps[root]
+            self.steal_log.append(StealRecord(
+                component=root,
+                seqs=tuple(pg.seq for pg in members),
+                rows=cost[root], from_worker=hi, to_worker=lo))
+            placement[root] = lo
+            loads[hi] -= cost[root]
+            loads[lo] += cost[root]
+
+    # -- execution ------------------------------------------------------ #
+    def _execute(self, lanes: List[List[_PlannedGroup]]) -> None:
+        base_now = self.clock.now()
+        manual = isinstance(self.clock, ManualClock)
+        self._worker_elapsed = [0.0] * self.workers
+
+        def run_lane(w: int) -> None:
+            elapsed = 0.0
+            for pg in lanes[w]:
+                pg.worker = w
+                gclock: Clock = self.clock
+                if manual:
+                    gclock = OffsetClock(base_now + elapsed)
+                ctx = DispatchContext(
+                    gclock, self.breaker, pg.records.append,
+                    self._deferred_settle(pg))
+                try:
+                    with faults.scope(w, pg.seq,
+                                      gclock if manual else None):
+                        self._run_group(pg.kind, pg.group, pg.key, ctx)
+                except BaseException as exc:   # noqa: BLE001 - reap decides
+                    pg.error = exc
+                if manual:
+                    elapsed += gclock.elapsed
+            self._worker_elapsed[w] = elapsed
+
+        active = [w for w in range(self.workers) if lanes[w]]
+        if len(active) <= 1:
+            for w in active:
+                run_lane(w)
+            return
+        threads = [threading.Thread(target=run_lane, args=(w,),
+                                    name=f"repro-pool-{w}", daemon=True)
+                   for w in active]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    @staticmethod
+    def _deferred_settle(pg: _PlannedGroup) -> Callable[..., None]:
+        def settle(job: Job, *, value: Any = None,
+                   error: Optional[BaseException] = None,
+                   outcome: str = "ok",
+                   info: Optional[Dict[str, Any]] = None) -> None:
+            pg.resolutions.append((job, {
+                "value": value, "error": error, "outcome": outcome,
+                "info": info}))
+        return settle
+
+    # -- the single-writer result plane --------------------------------- #
+    def _reap(self, plan: List[_PlannedGroup]) -> None:
+        """Publish the wave: main thread only, plan order only.
+
+        The manual clock advances once, by the slowest worker's elapsed
+        time (wave wall-time is the slowest lane, as real parallel
+        hardware bills it).  Then every group's buffered records join
+        ``dispatch_log`` with worker attribution, and its settles run
+        through :meth:`Scheduler.settle` — the one funnel that resolves
+        futures and bumps outcome counters — in plan order, so
+        completion order and counters match the sequential scheduler
+        exactly.
+        """
+        if isinstance(self.clock, ManualClock):
+            dt = max(self._worker_elapsed, default=0.0)
+            if dt > 0:
+                self.clock.advance(dt)
+        crash: Optional[BaseException] = None
+        for pg in plan:
+            for rec in pg.records:
+                rec.worker = pg.worker
+                self.dispatch_log.append(rec)
+            for job, kw in pg.resolutions:
+                self.settle(job, **kw)
+            if pg.error is not None:
+                # escaped the ladder (the ladder settles everything it
+                # catches): fail the group's unsettled members loudly
+                for job in pg.group:
+                    if not job.future.done:
+                        self.settle(job, error=pg.error, outcome="failed")
+                if not isinstance(pg.error, Exception):
+                    crash = pg.error       # KeyboardInterrupt etc.
+        if crash is not None:
+            raise crash

@@ -72,6 +72,46 @@ def tiny_quantized(tiny_model, tiny_dataset):
     return q
 
 
+# -- mixed job-set generator (pool partition property tests) ---------- #
+#
+# A job "menu" is a list of (kind, rows) tuples — the minimal shape the
+# serving layer's grouping decision can see.  ``submit_job_menu`` turns a
+# menu into real submissions against a shared (orig, quant, edge) model
+# triple, so a property test can replay the *same* menu through the
+# sequential scheduler and the worker pool and compare the partitions
+# they form.
+
+def mixed_job_menus(max_jobs: int = 6, max_rows: int = 3):
+    """Hypothesis strategy: small mixed attack/predict/predict_float
+    job sets (imported lazily so non-property runs never need
+    hypothesis)."""
+    from hypothesis import strategies as st
+    job = st.tuples(st.sampled_from(("attack", "predict", "predict_float")),
+                    st.integers(1, max_rows))
+    return st.lists(job, min_size=1, max_size=max_jobs)
+
+
+def submit_job_menu(session, menu, pair, edge, x_edge, steps: int = 2):
+    """Submit one (kind, rows) menu; returns the futures in menu order.
+
+    Attack jobs get a fresh PGD per submission (distinct requests,
+    shared victim models — the coalescible case); predict jobs run the
+    compiled edge model; predict_float jobs the float original.
+    """
+    from repro.attacks import PGD
+    orig, quant, x, y = pair
+    futs = []
+    for kind, rows in menu:
+        if kind == "attack":
+            futs.append(session.submit_attack(
+                PGD(quant, steps=steps), x[:rows], y[:rows]))
+        elif kind == "predict":
+            futs.append(session.submit_predict(edge, x_edge[:rows]))
+        else:
+            futs.append(session.submit_predict(orig, x[:rows]))
+    return futs
+
+
 class FixedLogitModel:
     """Test double: a 'model' that returns preset logits row-by-row."""
 

@@ -1,0 +1,383 @@
+"""Worker-pool suite: pooled dispatch must change wall-time, never bytes.
+
+The pool's whole contract (``docs/ARCHITECTURE.md``, "Worker pool and
+shard topology"): ``ServeSession(workers=N)`` partitions the queue into
+exactly the groups sequential dispatch would form, serializes groups
+that share plan owners, runs the rest concurrently against sharded
+caches/breakers, and publishes records, outcome counters and future
+resolutions through a single-writer reap — so per-job results are
+**bit-identical** to sequential dispatch at every worker count, clean
+and under seeded chaos.  These tests are the acceptance gate behind
+``make serve-pool``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.edge import compile_edge
+from repro.models import build_model
+from repro.quantization import calibrate, prepare_qat
+from repro.serve import (DeadlineError, FaultInjector, FaultSpec,
+                         ManualClock, OffsetClock, PoolScheduler,
+                         ServeSession, ShardedCircuitBreaker,
+                         ShardedPlanCache, build_workload, chaos_replay,
+                         default_chaos_specs, inject, mixed_workload_spec,
+                         replay_sequential, replay_serve)
+from repro.serve.pool import _PlannedGroup
+from repro.serve.scheduler import Job, JobFuture
+from repro.training import predict_labels
+
+from .conftest import mixed_job_menus, submit_job_menu
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _result_bytes(out):
+    """Per-job results as raw bytes (None for refused/failed jobs)."""
+    return [None if r is None else (r.dtype.str, r.shape, r.tobytes())
+            for r in out["results"]]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = mixed_workload_spec(scale=1)
+    spec["steps"] = 3
+    return build_workload(spec)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Untrained resnet + frozen 8-bit adaptation with self-labels."""
+    rng = np.random.default_rng(0)
+    x = rng.random((16, 3, 12, 12)).astype(np.float32)
+    orig = build_model("resnet", num_classes=6, width=4, seed=0)
+    orig.eval()
+    quant = prepare_qat(orig, weight_bits=8)
+    calibrate(quant, x)
+    quant.freeze()
+    quant.eval()
+    y = predict_labels(orig, x)
+    return orig, quant, x, y
+
+
+@pytest.fixture(scope="module")
+def edge_pair():
+    rng = np.random.default_rng(1)
+    x = rng.random((16, 1, 12, 12)).astype(np.float32)
+    lenet = build_model("lenet", num_classes=6, in_channels=1,
+                        image_size=12, width=4, seed=3)
+    lenet.eval()
+    q = prepare_qat(lenet, weight_bits=8, act_bits=8, per_channel=True)
+    calibrate(q, x)
+    q.freeze()
+    return compile_edge(q, 6), x
+
+
+def _fake_job(seq, rows, model):
+    return Job(kind="predict", seq=seq, x=np.zeros((rows, 1)),
+               future=JobFuture(lambda: None), model=model)
+
+
+def _fake_plan(row_costs, shared=()):
+    """A synthetic wave: one single-job group per cost; ``shared``
+    lists index pairs forced into one conflict component (same model)."""
+    models = [object() for _ in row_costs]
+    for a, b in shared:
+        models[b] = models[a]
+    return [_PlannedGroup(i, "predict", [_fake_job(i, rows, models[i])],
+                         ("predict", i))
+            for i, rows in enumerate(row_costs)]
+
+
+class TestPoolParity:
+    def test_results_bit_identical_at_every_worker_count(self, workload):
+        """The headline gate: every recorded-workload replay at
+        ``workers=N`` is byte-identical to the sequential baseline."""
+        ref = replay_sequential(workload)
+        ref_bytes = [(r.dtype.str, r.shape, r.tobytes())
+                     for r in ref["results"]]
+        for w in WORKER_COUNTS:
+            out = replay_serve(workload, workers=w)
+            assert all(o == "ok" for o in out["outcomes"])
+            assert _result_bytes(out) == ref_bytes, \
+                f"workers={w} diverged from the sequential baseline"
+
+    def test_pooled_records_match_legacy_scheduler(self, workload):
+        """Same groups, same order, same rungs: the pooled dispatch log
+        is the sequential log plus worker attribution."""
+        legacy = ServeSession(capacity=64)
+        replay_serve(workload, session=legacy)
+        pooled = ServeSession(capacity=64, workers=2)
+        replay_serve(workload, session=pooled)
+        strip = lambda log: [(r.key, r.seqs, r.rows, r.level, r.retry)
+                             for r in log]
+        assert strip(pooled.dispatch_log) == strip(legacy.dispatch_log)
+        assert all(r.worker is None for r in legacy.dispatch_log)
+        assert all(r.worker in range(2) for r in pooled.dispatch_log)
+        assert pooled.stats["outcome_counts"] == \
+            legacy.stats["outcome_counts"]
+
+    def test_chaos_replay_identical_at_every_worker_count(self, workload):
+        """Seeded chaos on the manual clock: per-group fault streams
+        make the whole run — outcomes, fault fires, simulated time — a
+        function of the workload, not of worker count."""
+        runs = [chaos_replay(workload, capacity=32, seed=FAULT_SEED,
+                             deadline_s=0.4, workers=w)
+                for w in WORKER_COUNTS]
+        for out in runs[1:]:
+            assert out["outcome_counts"] == runs[0]["outcome_counts"]
+            assert out["faults_fired"] == runs[0]["faults_fired"]
+            assert out["clock_s"] == runs[0]["clock_s"]
+        assert runs[0]["faults_fired"]          # chaos actually ran
+
+    def test_chaos_result_bytes_identical_across_worker_counts(self):
+        """Beyond outcome counts: the raw result bytes of a chaos
+        replay match at every worker count."""
+        spec = mixed_workload_spec(scale=1)
+        spec["steps"] = 2
+        seen = []
+        for w in WORKER_COUNTS:
+            clock = ManualClock()
+            session = ServeSession(capacity=32, clock=clock, workers=w,
+                                   quarantine_cooldown_s=0.5,
+                                   failure_cooldown_s=0.5)
+            injector = FaultInjector(default_chaos_specs(),
+                                     seed=FAULT_SEED, clock=clock)
+            with inject(injector):
+                out = replay_serve(build_workload(spec), session=session)
+            seen.append((_result_bytes(out), out["outcomes"],
+                         injector.stats, clock.now()))
+        assert seen[1] == seen[0] and seen[2] == seen[0]
+
+    def test_single_worker_pool_never_spawns_threads(self, workload,
+                                                     monkeypatch):
+        """``workers=1`` is deterministic by construction: the full
+        plan/steal/reap pipeline runs inline, no threads at all."""
+        import repro.serve.pool as pool_mod
+
+        def boom(*a, **k):
+            raise AssertionError("workers=1 must not spawn threads")
+
+        monkeypatch.setattr(pool_mod.threading, "Thread", boom)
+        out = replay_serve(workload, workers=1)
+        assert all(o == "ok" for o in out["outcomes"])
+
+
+class TestPartitionProperty:
+    @given(menu=mixed_job_menus())
+    @settings(max_examples=8, deadline=None)
+    def test_pool_partitions_exactly_like_sequential(self, menu, pair,
+                                                     edge_pair):
+        """Property: for any mixed job set, the pool's planned waves
+        form exactly the groups sequential ``_pop_group`` forms — every
+        job dispatched exactly once, no silent serialization, no
+        double-dispatch."""
+        edge, x_edge = edge_pair
+        legacy = ServeSession(capacity=16)
+        submit_job_menu(legacy, menu, pair, edge, x_edge)
+        legacy.drain()
+        pooled = ServeSession(capacity=16, workers=2)
+        submit_job_menu(pooled, menu, pair, edge, x_edge)
+        pooled.drain()
+        seq_partition = [r.seqs for r in legacy.dispatch_log]
+        pool_partition = [seqs for wave in pooled.scheduler.wave_log
+                          for seqs, _key in wave["groups"]]
+        assert pool_partition == seq_partition
+        covered = sorted(s for seqs in pool_partition for s in seqs)
+        assert covered == list(range(len(menu)))   # once each, none lost
+        for fut_log in (legacy.dispatch_log, pooled.dispatch_log):
+            solo = [r for r in fut_log if len(r.seqs) == 1
+                    and r.key[0] == "solo"]
+            assert all(r.reason for r in solo)     # solo ⇒ attributed
+
+
+class TestStealing:
+    def test_shared_owner_groups_serialize_on_one_lane(self):
+        """Groups sharing a model land in one conflict component: same
+        worker, contiguous, in plan order."""
+        sched = PoolScheduler(workers=2)
+        plan = _fake_plan([2, 2, 2, 2], shared=[(0, 2)])
+        comps = sched._components(plan)
+        assert sorted(comps) == [0, 1, 3]
+        assert [pg.order for pg in comps[0]] == [0, 2]
+        lanes = sched._assign(plan, comps)
+        placed = [pg.order for lane in lanes for pg in lane]
+        assert sorted(placed) == [0, 1, 2, 3]      # exactly once each
+        lane_of = {pg.order: w for w, lane in enumerate(lanes)
+                   for pg in lane}
+        assert lane_of[0] == lane_of[2]
+        i0, i2 = lanes[lane_of[0]].index(plan[0]), \
+            lanes[lane_of[0]].index(plan[2])
+        assert i0 < i2                             # plan order preserved
+
+    def test_steal_pass_rebalances_skewed_components(self):
+        """One heavy + three light components on two workers: the
+        steal pass moves light components off the loaded lane and logs
+        every move."""
+        sched = PoolScheduler(workers=2)
+        plan = _fake_plan([10, 1, 1, 1])
+        lanes = sched._assign(plan, sched._components(plan))
+        loads = [sum(pg.rows for pg in lane) for lane in lanes]
+        assert sched.steal_log                     # it actually stole
+        assert max(loads) == 10                    # heavy comp alone
+        for rec in sched.steal_log:
+            assert rec.from_worker != rec.to_worker
+            assert rec.rows > 0
+
+    def test_steal_plan_is_a_function_of_the_seed(self):
+        """Same (plan shape, workers, steal_seed) → identical steal
+        log, wave after wave."""
+        def steal_trace(seed):
+            sched = PoolScheduler(workers=2, steal_seed=seed)
+            plan = _fake_plan([5, 1, 1, 1, 1, 1])
+            sched._assign(plan, sched._components(plan))
+            return [(r.component, r.seqs, r.rows, r.from_worker,
+                     r.to_worker) for r in sched.steal_log]
+
+        assert steal_trace(7) == steal_trace(7)
+
+    def test_results_are_placement_independent(self, workload):
+        """Different steal seeds place components differently; per-job
+        bytes must not notice."""
+        outs = []
+        for seed in (0, 1234):
+            session = ServeSession(capacity=64, workers=2,
+                                   steal_seed=seed)
+            outs.append(_result_bytes(
+                replay_serve(workload, session=session)))
+        assert outs[0] == outs[1]
+
+
+class TestShards:
+    def test_shard_routing_survives_object_identity(self):
+        """Keys embed ``id(model)``; the sharded cache canonicalizes
+        registered owners to adoption-order indices, so two processes'
+        worth of object identities route identically."""
+        a, b = ShardedPlanCache(nshards=4), ShardedPlanCache(nshards=4)
+        ma, mb = object(), object()
+        a.register_owner(ma)
+        b.register_owner(mb)
+        key_a = ("predict", id(ma), (3, 12, 12), "<f4")
+        key_b = ("predict", id(mb), (3, 12, 12), "<f4")
+        assert a.shard_index(key_a) == b.shard_index(key_b)
+        assert a.shard_index(key_a) == a.shard_index(key_a)
+
+    def test_shard_eviction_midflight_rebuilds_bit_identical(self,
+                                                             workload):
+        """A starved shard budget forces mid-replay evictions; evicted
+        plans rebuild and revalidate, and parity still holds."""
+        ref = replay_sequential(workload)
+        ref_bytes = [(r.dtype.str, r.shape, r.tobytes())
+                     for r in ref["results"]]
+        session = ServeSession(capacity=64, workers=2,
+                               budget_bytes=20_000)
+        out = replay_serve(workload, session=session)
+        assert _result_bytes(out) == ref_bytes
+        stats = session.stats["plan_cache"]
+        assert stats["evictions"] >= 1             # starvation happened
+        assert stats["nshards"] == 2
+        assert len(stats["per_shard"]) == 2
+
+    def test_per_shard_breaker_quarantines_heal_independently(self):
+        """A trip on one shard's key neither quarantines nor heals
+        through the other shard."""
+        clock = ManualClock()
+        br = ShardedCircuitBreaker(nshards=2, cooldown_s=1.0,
+                                   clock=clock, route=lambda k: k)
+        br.record_failure(0, 0)
+        assert br.level(0) == 1 and br.level(2) == 0   # shard 0 only
+        assert [s["trips"] for s in br.stats["per_shard"]] == [1, 0]
+        br.record_failure(1, 0)                        # shard 1 trips too
+        clock.advance(1.5)
+        assert br.level(0) == 0                        # probe one rung up
+        br.record_success(0, 0)                        # heal shard 0
+        assert [s["heals"] for s in br.stats["per_shard"]] == [1, 0]
+        assert br.stats["quarantined_keys"] == 0       # probes pending
+        assert br.level(1) == 0 and br.shards[1].heals == 0
+
+    def test_breaker_shard_agrees_with_cache_shard(self):
+        """The session routes breaker keys through the cache's router,
+        so a key's plan shard and breaker shard always coincide."""
+        session = ServeSession(workers=3)
+        key = ("attack", ("pgd", 2), (3, 12, 12), "<f4")
+        assert session.breaker.shard_index(key) == \
+            session.plan_cache.shard_index(key)
+
+
+class TestResultPlane:
+    def test_completion_wins_ties_at_the_deadline_boundary(self, pair):
+        """Regression: an injected queue latency pushes the clock past
+        the drain budget in the same tick the head group was planned.
+        The planned group still executes and reaps — its future
+        resolves instead of raising with a completed-but-unreaped job —
+        while the unplanned job stays cleanly pending."""
+        orig, _quant, x, _y = pair
+        other = build_model("resnet", num_classes=6, width=4, seed=9)
+        other.eval()
+        clock = ManualClock()
+        session = ServeSession(capacity=8, clock=clock, workers=1)
+        f1 = session.submit_predict(orig, x[:2])
+        f2 = session.submit_predict(other, x[:2])
+        injector = FaultInjector(
+            [FaultSpec("queue.tick", "latency", rate=1.0, delay_s=1.0)],
+            seed=FAULT_SEED, clock=clock)
+        with inject(injector):
+            value = f1.result(timeout=0.5)     # budget < first tick
+        assert value is not None and f1.done and f1.outcome == "ok"
+        assert not f2.done                     # never planned: pending
+        assert len(session.scheduler.pending) == 1
+        assert f2.result() is not None         # a later drain serves it
+        assert f2.outcome == "ok"
+
+    def test_zero_timeout_stays_pending_under_pool(self, pair):
+        """The legacy bounded-wait pin, on the pool: ``timeout=0.0``
+        raises a structured DeadlineError before any wave is planned
+        and the job remains serveable."""
+        orig, _quant, x, _y = pair
+        session = ServeSession(capacity=8, clock=ManualClock(), workers=2)
+        fut = session.submit_predict(orig, x[:2])
+        with pytest.raises(DeadlineError):
+            fut.result(timeout=0.0)
+        assert not fut.done
+        assert len(session.scheduler.pending) == 1
+        assert session.dispatch_log == []      # nothing was dispatched
+        assert fut.result() is not None        # a later drain serves it
+
+    def test_offset_clock_views_do_not_move_the_shared_clock(self):
+        base = ManualClock()
+        base.advance(3.0)
+        view = OffsetClock(base.now() + 0.5)
+        view.advance(2.0)
+        assert view.now() == 5.5
+        assert view.elapsed == 2.0
+        assert base.now() == 3.0               # untouched by the view
+
+    def test_pool_stats_surface(self, workload):
+        session = ServeSession(capacity=64, workers=2)
+        replay_serve(workload, session=session)
+        pool = session.stats["pool"]
+        assert pool["workers"] == 2 and pool["backend"] == "thread"
+        assert pool["waves"] >= 1
+        assert pool["steals"] == len(session.scheduler.steal_log)
+        legacy = ServeSession(capacity=64)
+        assert "pool" not in legacy.stats
+
+
+class TestBackendSeam:
+    def test_process_backend_is_a_designed_seam(self):
+        with pytest.raises(NotImplementedError, match="shared memory"):
+            PoolScheduler(workers=2, backend="process")
+        with pytest.raises(NotImplementedError, match="seam"):
+            ServeSession(workers=2, pool_backend="process")
+
+    def test_backend_and_worker_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            PoolScheduler(workers=2, backend="fiber")
+        with pytest.raises(ValueError, match="workers"):
+            PoolScheduler(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            ServeSession(workers=0)
